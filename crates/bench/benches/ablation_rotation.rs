@@ -1,0 +1,97 @@
+//! **Ablation: space-mapping rotation** (§3.4, static load balancing).
+//!
+//! The paper's platform hosts many indexes at once; if their hot regions
+//! fall in similar parts of their index spaces, the same ring arc
+//! absorbs every index's hotspot. A per-index random rotation offset
+//! φ = hash(index name) de-correlates the arcs. This harness co-hosts
+//! several indexes with *identical* hotspot structure and compares the
+//! busiest node's combined load with rotation off vs on.
+
+use std::sync::Arc;
+
+use bench::synth::{select_landmarks, synth_setup};
+use bench::{save_json, Scale};
+use landmark::{boundary_from_metric, Mapper, SelectionMethod};
+use metric::{Metric, ObjectId, L2};
+use rayon::prelude::*;
+use simsearch::{IndexSpec, QueryDistance, QueryId, SearchSystem, SystemConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    const N_INDEXES: usize = 4;
+    println!("=== Ablation: space-mapping rotation with {N_INDEXES} co-hosted indexes ===");
+    println!("{} nodes, {} objects per index", scale.n_nodes, scale.n_objects);
+
+    let setup = synth_setup(&scale);
+    let landmarks = select_landmarks(&setup, SelectionMethod::KMeans, 10, &scale);
+    let metric = L2::bounded(100, 0.0, 100.0);
+    let mapper = Mapper::new(metric, landmarks);
+    let boundary = boundary_from_metric(&metric, 10).expect("bounded");
+    let points: Vec<Vec<f64>> = setup
+        .dataset
+        .objects
+        .par_iter()
+        .map(|o| mapper.map(o.as_slice()))
+        .collect();
+
+    let l2 = L2::new();
+    let objects = Arc::new(setup.dataset.objects.clone());
+    let queries = Arc::new(setup.qpoints.clone());
+    let mk_oracle = || -> Arc<dyn QueryDistance> {
+        let objects = Arc::clone(&objects);
+        let queries = Arc::clone(&queries);
+        Arc::new(move |qid: QueryId, obj: ObjectId| {
+            l2.distance(
+                queries[qid as usize % queries.len()].as_slice(),
+                objects[obj.0 as usize].as_slice(),
+            )
+        })
+    };
+
+    let run = |rotate: bool| -> (usize, Vec<usize>) {
+        let specs: Vec<IndexSpec> = (0..N_INDEXES)
+            .map(|i| IndexSpec {
+                name: format!("index-{i}"),
+                boundary: boundary.dims.clone(),
+                points: points.clone(),
+                rotate,
+            })
+            .collect();
+        let cfg = SystemConfig {
+            n_nodes: scale.n_nodes,
+            seed: scale.seed,
+            ..SystemConfig::default()
+        };
+        let system = SearchSystem::build(cfg, &specs, mk_oracle());
+        // Combined load per node across all indexes.
+        let mut combined = vec![0usize; scale.n_nodes];
+        for ix in 0..N_INDEXES {
+            for (node, load) in system.load_per_node(ix).into_iter().enumerate() {
+                combined[node] += load;
+            }
+        }
+        combined.sort_unstable_by(|a, b| b.cmp(a));
+        (combined[0], combined)
+    };
+
+    let (max_plain, dist_plain) = run(false);
+    let (max_rot, dist_rot) = run(true);
+
+    println!("\nbusiest node, combined over {N_INDEXES} indexes:");
+    println!("  rotation OFF: {max_plain}");
+    println!("  rotation ON : {max_rot}");
+    println!(
+        "\nhead of combined distribution (sorted desc):\n  off: {:?}\n  on : {:?}",
+        &dist_plain[..12.min(dist_plain.len())],
+        &dist_rot[..12.min(dist_rot.len())]
+    );
+    assert!(
+        max_rot < max_plain,
+        "rotation must spread correlated hotspots: {max_rot} !< {max_plain}"
+    );
+    println!("\nOK: rotation reduces the correlated-hotspot maximum load.");
+    save_json(
+        "ablation_rotation",
+        &serde_json::json!({"max_plain": max_plain, "max_rotated": max_rot}),
+    );
+}

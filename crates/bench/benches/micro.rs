@@ -1,0 +1,149 @@
+//! Criterion microbenchmarks of the hot kernels: locality-preserving
+//! hashing, query splitting, metric evaluations, landmark selection, and
+//! local routing decisions.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use landmark::greedy;
+use lph::{Grid, Prefix, Rect, Rotation};
+use metric::{Angular, EditDistance, Metric, SparseVector, L2};
+use simnet::SimRng;
+use simsearch::{route_subquery, SubQueryMsg};
+
+fn bench_lph(c: &mut Criterion) {
+    let grid = Grid::uniform(10, 0.0, 1000.0);
+    let mut rng = SimRng::new(1);
+    let point: Vec<f64> = (0..10).map(|_| rng.f64() * 1000.0).collect();
+    c.bench_function("lph/hash_10d_64bit", |b| {
+        b.iter(|| grid.hash(black_box(&point)))
+    });
+
+    let rect = Rect::ball(&point, 25.0, grid.bounds());
+    c.bench_function("lph/enclosing_prefix_10d", |b| {
+        b.iter(|| grid.enclosing_prefix(black_box(&rect)))
+    });
+
+    let sq = lph::SubQuery {
+        rect: rect.clone(),
+        prefix: grid.enclosing_prefix(&rect),
+    };
+    c.bench_function("lph/split_10d", |b| b.iter(|| grid.split(black_box(&sq))));
+
+    c.bench_function("lph/cell_decode_depth64", |b| {
+        let key = grid.hash(&point);
+        b.iter(|| grid.cell(Prefix::of_key(black_box(key), 64)))
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = SimRng::new(2);
+    let a: Vec<f32> = (0..100).map(|_| rng.f64() as f32 * 100.0).collect();
+    let b: Vec<f32> = (0..100).map(|_| rng.f64() as f32 * 100.0).collect();
+    let l2 = L2::new();
+    c.bench_function("metric/l2_100d", |bch| {
+        bch.iter(|| l2.distance(black_box(&a[..]), black_box(&b[..])))
+    });
+
+    let s1 = "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT";
+    let s2 = "ACGTACGAACGTACGTACCTACGTACGTACGAACGTACGTACGTTCGTACGTACGTACGTACG";
+    c.bench_function("metric/edit_64ch", |bch| {
+        bch.iter(|| EditDistance::levenshtein(black_box(s1.as_bytes()), black_box(s2.as_bytes())))
+    });
+
+    let mk_sparse = |n: usize, seed: u64| {
+        let mut r = SimRng::new(seed);
+        SparseVector::new(
+            (0..n)
+                .map(|_| (r.below(40_000) as u32, r.f64() as f32 + 0.1))
+                .collect(),
+        )
+    };
+    let d1 = mk_sparse(150, 3);
+    let d2 = mk_sparse(150, 4);
+    let ang = Angular::new();
+    c.bench_function("metric/angular_150nnz", |bch| {
+        bch.iter(|| ang.distance(black_box(&d1), black_box(&d2)))
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut rng = SimRng::new(5);
+    let sample: Vec<Vec<f32>> = (0..500)
+        .map(|_| (0..10).map(|_| rng.f64() as f32 * 100.0).collect())
+        .collect();
+    c.bench_function("landmark/greedy_500x10d_k10", |b| {
+        b.iter(|| {
+            let mut r = SimRng::new(7);
+            greedy::<_, [f32], _>(&L2::new(), black_box(&sample), 10, &mut r)
+        })
+    });
+}
+
+fn bench_hilbert(c: &mut Criterion) {
+    let g = lph::HilbertGrid::new(Rect::cube(4, 0.0, 1.0), 8);
+    let cell = [13u32, 200, 77, 4];
+    c.bench_function("hilbert/rank_4d_8bit", |b| {
+        b.iter(|| g.rank_of_cell(black_box(&cell)))
+    });
+    c.bench_function("hilbert/inverse_4d_8bit", |b| {
+        let r = g.rank_of_cell(&cell);
+        b.iter(|| g.cell_of_rank(black_box(r)))
+    });
+    c.bench_function("hilbert/morton_rank_4d_8bit", |b| {
+        b.iter(|| g.morton_rank_of_cell(black_box(&cell)))
+    });
+}
+
+fn bench_pastry(c: &mut Criterion) {
+    let mut rng = SimRng::new(8);
+    let ring = chord::OracleRing::with_random_ids(256, &mut rng);
+    let tables = pastry::build_all_tables(&ring, pastry::LEAF_HALF, None, 16);
+    use rand::RngCore;
+    let key = chord::ChordId(rng.next_u64());
+    c.bench_function("pastry/route_256nodes", |b| {
+        b.iter(|| tables[10].route(black_box(key)))
+    });
+    let chord_tables = ring.build_all_tables(16, None, 16);
+    c.bench_function("chord/route_256nodes", |b| {
+        b.iter(|| chord_tables[10].route(black_box(key)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = SimRng::new(6);
+    let ring = chord::OracleRing::with_random_ids(256, &mut rng);
+    let tables = ring.build_all_tables(16, None, 16);
+    let grid = Grid::uniform(10, 0.0, 1000.0);
+    let center: Vec<f64> = (0..10).map(|_| rng.f64() * 1000.0).collect();
+    let rect = Rect::ball(&center, 50.0, grid.bounds());
+    let sq = SubQueryMsg {
+        qid: 0,
+        index: 0,
+        rect: rect.clone(),
+        prefix: grid.enclosing_prefix(&rect),
+        hops: 0,
+        origin: simnet::AgentId(0),
+    };
+    c.bench_function("routing/route_subquery_256nodes", |b| {
+        b.iter(|| {
+            route_subquery(
+                black_box(&tables[10]),
+                &grid,
+                Rotation::IDENTITY,
+                black_box(sq.clone()),
+                true,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_lph, bench_metrics, bench_selection, bench_hilbert, bench_pastry, bench_routing
+}
+criterion_main!(benches);

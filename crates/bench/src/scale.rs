@@ -1,0 +1,102 @@
+//! Experiment sizing.
+//!
+//! `cargo bench` must finish in minutes, so the default scale shrinks
+//! the population while keeping every shape parameter (dimensionality,
+//! cluster count, landmark counts, query-range sweep) at the paper's
+//! values. `SIMSEARCH_FULL=1` switches to the paper's full scale
+//! (10^5 objects, 157k documents, 2000 queries, >1000 nodes);
+//! `SIMSEARCH_SEED=n` changes the root seed.
+
+/// Population sizes for one experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Overlay size.
+    pub n_nodes: usize,
+    /// Synthetic dataset size (paper: 100_000).
+    pub n_objects: usize,
+    /// Queries per sweep point (paper: 2000 total).
+    pub n_queries: usize,
+    /// Documents in the TREC-like corpus (paper: 157_021).
+    pub corpus_docs: usize,
+    /// Vocabulary of the TREC-like corpus (paper: 233_640).
+    pub corpus_vocab: usize,
+    /// Landmark-selection sample size (paper: 2000 synthetic / 3000 TREC).
+    pub sample: usize,
+    /// Lloyd iterations for k-means selection.
+    pub kmeans_iters: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// True when running at full paper scale.
+    pub full: bool,
+}
+
+impl Scale {
+    /// The quick default used by `cargo bench`.
+    pub fn quick() -> Scale {
+        Scale {
+            n_nodes: 256,
+            n_objects: 20_000,
+            n_queries: 200,
+            corpus_docs: 12_000,
+            corpus_vocab: 30_000,
+            sample: 1_000,
+            kmeans_iters: 12,
+            seed: 42,
+            full: false,
+        }
+    }
+
+    /// The paper's scale.
+    pub fn paper() -> Scale {
+        Scale {
+            n_nodes: 1_024,
+            n_objects: 100_000,
+            n_queries: 2_000,
+            corpus_docs: 157_021,
+            corpus_vocab: 233_640,
+            sample: 2_000,
+            kmeans_iters: 25,
+            seed: 42,
+            full: true,
+        }
+    }
+
+    /// Resolve from the environment: `SIMSEARCH_FULL=1` selects the
+    /// paper scale, `SIMSEARCH_SEED` overrides the seed.
+    pub fn from_env() -> Scale {
+        let mut s = if std::env::var("SIMSEARCH_FULL").map(|v| v == "1").unwrap_or(false) {
+            Scale::paper()
+        } else {
+            Scale::quick()
+        };
+        if let Ok(seed) = std::env::var("SIMSEARCH_SEED") {
+            s.seed = seed.parse().expect("SIMSEARCH_SEED must be an integer");
+        }
+        s
+    }
+}
+
+/// The paper's query-range-factor sweep: 0.1% to 20% of the maximum
+/// theoretical distance.
+pub const RANGE_FACTORS: &[f64] = &[0.001, 0.0025, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        let q = Scale::quick();
+        let p = Scale::paper();
+        assert!(q.n_objects < p.n_objects);
+        assert!(q.n_nodes < p.n_nodes);
+        assert!(!q.full && p.full);
+    }
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        assert_eq!(*RANGE_FACTORS.first().unwrap(), 0.001);
+        assert_eq!(*RANGE_FACTORS.last().unwrap(), 0.20);
+        assert!(RANGE_FACTORS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

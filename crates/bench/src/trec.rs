@@ -1,0 +1,278 @@
+//! The §4.3 text-retrieval experiment pipeline over the synthetic
+//! TREC-like corpus: angular (cosine) metric, greedy vs k-means document
+//! landmarks, boundary from the selection sample.
+
+use std::sync::Arc;
+
+use landmark::{boundary_from_sample, greedy, kmeans, Mapper, SelectionMethod};
+use metric::{Angular, Metric, ObjectId, SparseVector};
+use rayon::prelude::*;
+use simnet::SimRng;
+use simsearch::{
+    IndexSpec, LoadBalanceConfig, QueryDistance, QueryId, QuerySpec, SearchSystem, SystemConfig,
+};
+use workloads::{Corpus, CorpusParams};
+
+use crate::report::Row;
+use crate::scale::Scale;
+use crate::synth::group_rows;
+
+/// Corpus plus per-topic exact ground truth.
+pub struct TrecSetup {
+    /// The generated corpus (documents + query topics).
+    pub corpus: Corpus,
+    /// Exact 10-NN document ids per query topic.
+    pub truth: Vec<Vec<ObjectId>>,
+}
+
+/// Generate the corpus and its ground truth.
+pub fn trec_setup(scale: &Scale) -> TrecSetup {
+    let params = CorpusParams {
+        n_docs: scale.corpus_docs,
+        vocab: scale.corpus_vocab,
+        ..if scale.full {
+            CorpusParams::paper_scale()
+        } else {
+            CorpusParams::default()
+        }
+    };
+    let corpus = Corpus::generate(params, scale.seed ^ 0x7EC);
+    let metric = Angular::new();
+    let docs = &corpus.docs;
+    let truth: Vec<Vec<ObjectId>> = corpus
+        .topics
+        .par_iter()
+        .map(|t| {
+            let mut best: Vec<(ObjectId, f64)> = Vec::with_capacity(11);
+            for (i, d) in docs.iter().enumerate() {
+                let dist = metric.distance(t, d);
+                let id = ObjectId(i as u32);
+                let pos = best.partition_point(|&(bid, bd)| bd < dist || (bd == dist && bid < id));
+                if pos < 10 {
+                    best.insert(pos, (id, dist));
+                    best.truncate(10);
+                }
+            }
+            best.into_iter().map(|(id, _)| id).collect()
+        })
+        .collect();
+    TrecSetup { corpus, truth }
+}
+
+/// Select document landmarks from a corpus sample.
+pub fn select_doc_landmarks(
+    setup: &TrecSetup,
+    method: SelectionMethod,
+    k: usize,
+    scale: &Scale,
+) -> Vec<SparseVector> {
+    let mut rng = SimRng::new(scale.seed).fork(0x7EC5E1 ^ k as u64);
+    let idx = rng.sample_indices(setup.corpus.docs.len(), scale.sample.min(setup.corpus.docs.len()));
+    let sample: Vec<SparseVector> = idx.iter().map(|&i| setup.corpus.docs[i].clone()).collect();
+    let metric = Angular::new();
+    match method {
+        SelectionMethod::Greedy => greedy::<_, SparseVector, _>(&metric, &sample, k, &mut rng),
+        SelectionMethod::KMeans => {
+            kmeans::<_, SparseVector, _>(&metric, &sample, k, scale.kmeans_iters, &mut rng)
+        }
+        SelectionMethod::KMedoids => {
+            landmark::kmedoids::<_, SparseVector, _>(&metric, &sample, k, scale.kmeans_iters, &mut rng)
+        }
+    }
+}
+
+/// Densified landmark for O(nnz(doc)) angle evaluation.
+struct DenseLandmark {
+    weights: Vec<f32>,
+    norm: f64,
+}
+
+impl DenseLandmark {
+    fn new(lm: &SparseVector, vocab: usize) -> DenseLandmark {
+        let mut weights = vec![0.0f32; vocab];
+        for &(t, w) in lm.terms() {
+            weights[t as usize] = w;
+        }
+        DenseLandmark {
+            weights,
+            norm: lm.norm(),
+        }
+    }
+
+    /// Angle to a sparse vector; must agree with [`Angular`]'s
+    /// convention (zero vectors are orthogonal to everything).
+    fn angle(&self, v: &SparseVector) -> f64 {
+        if self.norm == 0.0 || v.norm() == 0.0 {
+            if self.norm == 0.0 && v.norm() == 0.0 {
+                return 0.0;
+            }
+            return std::f64::consts::FRAC_PI_2;
+        }
+        let mut dot = 0.0f64;
+        for &(t, w) in v.terms() {
+            dot += w as f64 * self.weights[t as usize] as f64;
+        }
+        (dot / (self.norm * v.norm())).clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// Map every document to its landmark-distance point (parallel; dense
+/// landmark arrays make one mapping O(nnz(doc) · k)).
+pub fn map_docs(docs: &[SparseVector], landmarks: &[SparseVector], vocab: usize) -> Vec<Vec<f64>> {
+    let dense: Vec<DenseLandmark> = landmarks.iter().map(|l| DenseLandmark::new(l, vocab)).collect();
+    docs.par_iter()
+        .map(|d| dense.iter().map(|l| l.angle(d)).collect())
+        .collect()
+}
+
+/// Run the §4.3 sweep for one landmark method. Returns the series rows
+/// and the load distribution (figure 6).
+pub fn run_trec(
+    scale: &Scale,
+    setup: &TrecSetup,
+    method: SelectionMethod,
+    k: usize,
+    lb: Option<LoadBalanceConfig>,
+    factors: &[f64],
+) -> (Vec<Row>, Vec<usize>) {
+    let label = format!("{method}-{k}");
+    let landmarks = select_doc_landmarks(setup, method, k, scale);
+    let vocab = setup.corpus.params.vocab;
+    let points = map_docs(&setup.corpus.docs, &landmarks, vocab);
+    let qmapped = map_docs(&setup.corpus.topics, &landmarks, vocab);
+
+    // Boundary from the landmark-selection procedure (paper §3.1 route
+    // 2): min/max mapped coordinates of the selection sample, with a
+    // small margin; out-of-range points clamp onto the boundary.
+    let mut rng = SimRng::new(scale.seed).fork(0xB0);
+    let idx = rng.sample_indices(setup.corpus.docs.len(), scale.sample.min(setup.corpus.docs.len()));
+    let sample: Vec<SparseVector> = idx.iter().map(|&i| setup.corpus.docs[i].clone()).collect();
+    let mapper = Mapper::new(Angular::new(), landmarks.clone());
+    let boundary = boundary_from_sample::<_, SparseVector, _>(&mapper, &sample, 0.01);
+
+    let spec = IndexSpec {
+        name: format!("trec-{label}"),
+        boundary: boundary.dims.clone(),
+        points,
+        rotate: false,
+    };
+
+    // Workload: topics repeated round-robin (paper: 50 topics × 40 =
+    // 2000 queries), swept over range factors; radius = factor × π/2
+    // (the maximum angular distance).
+    let nq = scale.n_queries;
+    let n_topics = setup.corpus.topics.len();
+    let max_d = std::f64::consts::FRAC_PI_2;
+    let mut queries = Vec::with_capacity(nq * factors.len());
+    for &f in factors {
+        for qi in 0..nq {
+            let topic = qi % n_topics;
+            queries.push(QuerySpec {
+                index: 0,
+                point: qmapped[topic].clone(),
+                radius: f * max_d,
+                truth: setup.truth[topic].clone(),
+            });
+        }
+    }
+
+    let oracle_docs: Arc<Vec<SparseVector>> = Arc::new(setup.corpus.docs.clone());
+    let oracle_topics: Arc<Vec<SparseVector>> = Arc::new(setup.corpus.topics.clone());
+    let metric = Angular::new();
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        let topic = &oracle_topics[(qid as usize % nq) % n_topics];
+        metric.distance(topic, &oracle_docs[obj.0 as usize])
+    });
+
+    let cfg = SystemConfig {
+        n_nodes: scale.n_nodes,
+        seed: scale.seed,
+        lb,
+        ..SystemConfig::default()
+    };
+    let mut system = SearchSystem::build(cfg, &[spec], oracle);
+    let outcomes = system.run_queries(&queries, 150.0);
+    let rows = group_rows(&label, factors, nq, &outcomes);
+    (rows, system.load_distribution(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            n_nodes: 24,
+            n_queries: 20,
+            corpus_docs: 1_200,
+            corpus_vocab: 8_000,
+            sample: 200,
+            kmeans_iters: 5,
+            ..Scale::quick()
+        }
+    }
+
+    #[test]
+    fn dense_landmark_matches_sparse_metric() {
+        let scale = tiny_scale();
+        let setup = trec_setup(&scale);
+        let lms = select_doc_landmarks(&setup, SelectionMethod::KMeans, 4, &scale);
+        let m = Angular::new();
+        for lm in &lms {
+            let dense = DenseLandmark::new(lm, scale.corpus_vocab);
+            for d in setup.corpus.docs.iter().step_by(211) {
+                let a = dense.angle(d);
+                let b = m.distance(lm, d);
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn trec_pipeline_runs() {
+        let scale = tiny_scale();
+        let setup = trec_setup(&scale);
+        assert_eq!(setup.truth.len(), 50);
+        let (rows, loads) = run_trec(
+            &scale,
+            &setup,
+            SelectionMethod::KMeans,
+            6,
+            None,
+            &[0.02, 0.10, 0.20],
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(loads.iter().sum::<usize>(), 1_200);
+        // Recall grows with range.
+        assert!(rows[2].recall >= rows[0].recall - 0.05);
+    }
+
+    #[test]
+    fn greedy_landmarks_pile_docs_near_boundary() {
+        // The paper's central TREC observation: with greedy (sparse
+        // document) landmarks, a large share of documents sit at or near
+        // the maximum distance to *every* landmark, mapping to a thin
+        // shell near the index-space upper boundary.
+        let scale = tiny_scale();
+        let setup = trec_setup(&scale);
+        let greedy_lms = select_doc_landmarks(&setup, SelectionMethod::Greedy, 6, &scale);
+        let kmean_lms = select_doc_landmarks(&setup, SelectionMethod::KMeans, 6, &scale);
+        let vocab = scale.corpus_vocab;
+        let near_max_frac = |lms: &[SparseVector]| {
+            let pts = map_docs(&setup.corpus.docs, lms, vocab);
+            let max = std::f64::consts::FRAC_PI_2;
+            let near = pts
+                .iter()
+                .filter(|p| p.iter().all(|&x| x > max * 0.97))
+                .count();
+            near as f64 / pts.len() as f64
+        };
+        let g = near_max_frac(&greedy_lms);
+        let k = near_max_frac(&kmean_lms);
+        assert!(
+            g > k,
+            "greedy should pile more docs near the boundary: greedy {g:.3} vs kmeans {k:.3}"
+        );
+        assert!(g > 0.2, "greedy boundary shell too thin: {g:.3}");
+    }
+}

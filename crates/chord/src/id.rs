@@ -1,0 +1,138 @@
+//! Identifier-circle arithmetic.
+//!
+//! Chord identifiers live on a circle of `2^64` points; all interval
+//! tests wrap. The conventions below follow the Chord paper: a node owns
+//! the keys in `(predecessor, me]`, and `successor(k)` is the first node
+//! whose identifier equals or follows `k` clockwise.
+
+use simnet::AgentId;
+
+/// A 64-bit Chord identifier (node id or key).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChordId(pub u64);
+
+impl ChordId {
+    /// Clockwise distance from `self` to `to` (0 when equal).
+    #[inline]
+    pub fn cw_dist(self, to: ChordId) -> u64 {
+        to.0.wrapping_sub(self.0)
+    }
+
+    /// `self ∈ (a, b)` on the circle. When `a == b` the open interval is
+    /// the whole circle minus `a` (the Chord convention).
+    #[inline]
+    pub fn in_open(self, a: ChordId, b: ChordId) -> bool {
+        if a == b {
+            self != a
+        } else {
+            a.cw_dist(self) > 0 && a.cw_dist(self) < a.cw_dist(b)
+        }
+    }
+
+    /// `self ∈ (a, b]` on the circle. When `a == b` this is the whole
+    /// circle (every key is in `(n, n]` — a lone node owns everything).
+    #[inline]
+    pub fn in_half_open(self, a: ChordId, b: ChordId) -> bool {
+        if a == b {
+            true
+        } else {
+            a.cw_dist(self) > 0 && a.cw_dist(self) <= a.cw_dist(b)
+        }
+    }
+
+    /// The identifier `2^i` past this one (finger `i`'s interval start).
+    #[inline]
+    pub fn finger_start(self, i: u32) -> ChordId {
+        debug_assert!(i < 64);
+        ChordId(self.0.wrapping_add(1u64 << i))
+    }
+}
+
+impl std::fmt::Debug for ChordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for ChordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A node as seen by other nodes: its ring identifier plus its network
+/// address (the simulation agent id).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeRef {
+    /// Position on the identifier circle.
+    pub id: ChordId,
+    /// Network address.
+    pub addr: AgentId,
+}
+
+impl NodeRef {
+    /// Convenience constructor.
+    pub fn new(id: u64, addr: usize) -> NodeRef {
+        NodeRef {
+            id: ChordId(id),
+            addr: AgentId(addr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ChordId = ChordId(100);
+    const B: ChordId = ChordId(200);
+
+    #[test]
+    fn cw_dist_wraps() {
+        assert_eq!(A.cw_dist(B), 100);
+        assert_eq!(B.cw_dist(A), u64::MAX - 100 + 1);
+        assert_eq!(A.cw_dist(A), 0);
+    }
+
+    #[test]
+    fn open_interval() {
+        assert!(ChordId(150).in_open(A, B));
+        assert!(!ChordId(100).in_open(A, B));
+        assert!(!ChordId(200).in_open(A, B));
+        assert!(!ChordId(250).in_open(A, B));
+        // Wrapping interval (200, 100).
+        assert!(ChordId(50).in_open(B, A));
+        assert!(ChordId(u64::MAX).in_open(B, A));
+        assert!(!ChordId(150).in_open(B, A));
+        // Degenerate (a, a): everything but a.
+        assert!(ChordId(5).in_open(A, A));
+        assert!(!A.in_open(A, A));
+    }
+
+    #[test]
+    fn half_open_interval() {
+        assert!(ChordId(200).in_half_open(A, B));
+        assert!(!ChordId(100).in_half_open(A, B));
+        assert!(ChordId(150).in_half_open(A, B));
+        assert!(!ChordId(201).in_half_open(A, B));
+        // Degenerate (a, a]: the whole circle.
+        assert!(ChordId(5).in_half_open(A, A));
+        assert!(A.in_half_open(A, A));
+    }
+
+    #[test]
+    fn finger_starts() {
+        let n = ChordId(0);
+        assert_eq!(n.finger_start(0), ChordId(1));
+        assert_eq!(n.finger_start(3), ChordId(8));
+        assert_eq!(n.finger_start(63), ChordId(1 << 63));
+        // Wrapping.
+        let n = ChordId(u64::MAX);
+        assert_eq!(n.finger_start(0), ChordId(0));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", ChordId(0xAB)), "00000000000000ab");
+    }
+}

@@ -1,0 +1,30 @@
+//! # chord — the Chord DHT substrate
+//!
+//! The paper builds its index architecture on **Chord with proximity
+//! neighbor selection** (Chord-PNS, base 2, 16 successors, 64-bit
+//! identifiers) as simulated by p2psim. This crate reimplements that
+//! substrate:
+//!
+//! * [`id`] — identifier-circle arithmetic (wrapping intervals, clockwise
+//!   distance);
+//! * [`table`] — per-node routing state: finger table, successor list,
+//!   predecessor, and the *next hop* rule the index layer routes with
+//!   (the table entry closest-preceding a key, per the paper's
+//!   footnote 4);
+//! * [`ring`] — the [`ring::OracleRing`]: global knowledge of the
+//!   membership, used to (a) verify protocol convergence in tests and
+//!   (b) build already-stabilized routing tables (with PNS against a
+//!   latency topology) so experiments start from the steady state the
+//!   paper measures after "system stabilization";
+//! * [`protocol`] — the live join / stabilize / fix-fingers / lookup
+//!   protocol over [`simnet`], for protocol-level tests and the PNS
+//!   ablation.
+
+pub mod id;
+pub mod protocol;
+pub mod ring;
+pub mod table;
+
+pub use id::{ChordId, NodeRef};
+pub use ring::OracleRing;
+pub use table::{RouteDecision, RoutingTable};

@@ -1,0 +1,649 @@
+//! The live Chord protocol over [`simnet`]: recursive lookups, joins,
+//! stabilization, finger repair, and proximity neighbor selection.
+//!
+//! The index experiments start from pre-stabilized tables (see
+//! [`crate::ring`]); this module exists to *justify* that shortcut — the
+//! protocol tests drive real joins and assert convergence to exactly the
+//! oracle invariants — and to power the PNS/lookup ablations.
+
+use std::collections::HashMap;
+
+use simnet::{Agent, AgentId, Ctx, SimDuration, SimTime, TimerTag};
+
+use crate::id::{ChordId, NodeRef};
+use crate::table::{RouteDecision, RoutingTable, FINGER_ROWS};
+
+/// Protocol parameters (defaults follow the paper's p2psim setup).
+#[derive(Clone, Debug)]
+pub struct ChordConfig {
+    /// Successor-list length (paper: 16).
+    pub n_successors: usize,
+    /// Stabilization period.
+    pub stabilize_every: SimDuration,
+    /// Finger-repair period; each tick repairs [`Self::fingers_per_tick`] rows.
+    pub fix_fingers_every: SimDuration,
+    /// Finger rows refreshed per repair tick.
+    pub fingers_per_tick: usize,
+    /// PNS candidate-set size; 0 disables PNS (plain Chord).
+    pub pns_candidates: usize,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig {
+            n_successors: 16,
+            stabilize_every: SimDuration::from_secs(1),
+            fix_fingers_every: SimDuration::from_secs(1),
+            fingers_per_tick: 8,
+            pns_candidates: 16,
+        }
+    }
+}
+
+/// Chord wire messages. Byte sizes are modelled per message in
+/// [`msg_bytes`].
+#[derive(Clone, Debug)]
+pub enum ChordMsg {
+    /// Recursive owner lookup, forwarded hop by hop.
+    FindSuccessor {
+        key: ChordId,
+        origin: NodeRef,
+        req: u64,
+        hops: u32,
+    },
+    /// Lookup answer, sent directly to the origin. Carries the owner's
+    /// successor list as PNS candidates.
+    FoundSuccessor {
+        owner: NodeRef,
+        candidates: Vec<NodeRef>,
+        req: u64,
+        hops: u32,
+    },
+    /// Stabilization probe.
+    GetPredecessor,
+    /// Stabilization answer.
+    PredecessorReply {
+        pred: Option<NodeRef>,
+        successors: Vec<NodeRef>,
+    },
+    /// "I might be your predecessor."
+    Notify { node: NodeRef },
+    /// Control: injected to make this node join via `bootstrap`.
+    StartJoin { bootstrap: NodeRef },
+    /// Control: injected to make this node look up `key`.
+    StartLookup { key: ChordId },
+    /// Liveness probe.
+    Ping { nonce: u64 },
+    /// Liveness answer.
+    Pong { nonce: u64 },
+    /// Control: injected to crash this node (it stops responding to
+    /// everything; the rest of the ring must detect and route around it).
+    Fail,
+    /// Control: gracefully leave the ring — notify the predecessor and
+    /// successor of each other, then go silent. The primitive behind the
+    /// paper's "ask it to leave and then rejoin" load migration.
+    Leave,
+    /// A departing node telling its neighbors to link up: `pred` and
+    /// `succ` are the leaver's neighbors (each receiver adopts the one
+    /// it is missing).
+    Departing {
+        /// The leaver's predecessor.
+        pred: Option<NodeRef>,
+        /// The leaver's successor.
+        succ: Option<NodeRef>,
+    },
+    /// Control: re-join the ring under a new identifier via `bootstrap`
+    /// (leave must have completed first). Implements the re-join half of
+    /// the migration primitive.
+    Rejoin {
+        /// The identifier to adopt.
+        new_id: ChordId,
+        /// A live node to route the join through.
+        bootstrap: NodeRef,
+    },
+}
+
+/// Modelled wire size of a message: 20-byte header plus payload (ids are
+/// 8 bytes, node references 12).
+pub fn msg_bytes(msg: &ChordMsg) -> u32 {
+    const HDR: u32 = 20;
+    const REF: u32 = 12;
+    match msg {
+        ChordMsg::FindSuccessor { .. } => HDR + 8 + REF + 8 + 4,
+        ChordMsg::FoundSuccessor { candidates, .. } => {
+            HDR + REF + 8 + 4 + REF * candidates.len() as u32
+        }
+        ChordMsg::GetPredecessor => HDR,
+        ChordMsg::PredecessorReply { successors, .. } => HDR + REF + REF * successors.len() as u32,
+        ChordMsg::Notify { .. } => HDR + REF,
+        ChordMsg::Ping { .. } | ChordMsg::Pong { .. } => HDR + 8,
+        ChordMsg::Departing { .. } => HDR + 2 * REF,
+        ChordMsg::StartJoin { .. }
+        | ChordMsg::StartLookup { .. }
+        | ChordMsg::Fail
+        | ChordMsg::Leave
+        | ChordMsg::Rejoin { .. } => 0, // control
+    }
+}
+
+const STABILIZE: TimerTag = TimerTag(1);
+const FIX_FINGERS: TimerTag = TimerTag(2);
+const FAILCHECK: TimerTag = TimerTag(3);
+
+/// User-lookup retry attempts before giving up.
+const LOOKUP_RETRIES: u32 = 4;
+
+/// A completed lookup, recorded at the origin (test/ablation output).
+#[derive(Clone, Copy, Debug)]
+pub struct LookupResult {
+    /// The key that was looked up.
+    pub key: ChordId,
+    /// The node found to own it.
+    pub owner: NodeRef,
+    /// Overlay hops the request took.
+    pub hops: u32,
+    /// Wall-clock (simulated) time from issue to answer.
+    pub latency: SimDuration,
+}
+
+enum Pending {
+    Join,
+    FingerRow(usize),
+    UserLookup {
+        key: ChordId,
+        started: SimTime,
+        issued: SimTime,
+        attempt: u32,
+    },
+}
+
+/// One Chord node as a [`simnet::Agent`].
+pub struct ChordAgent {
+    /// Routing state (public for test inspection).
+    pub table: RoutingTable,
+    cfg: ChordConfig,
+    joined: bool,
+    /// False after a crash: the node ignores everything.
+    pub alive: bool,
+    next_req: u64,
+    pending: HashMap<u64, Pending>,
+    next_finger_row: usize,
+    /// Completed lookups issued from this node.
+    pub lookups: Vec<LookupResult>,
+    /// Lookups abandoned after every retry failed.
+    pub failed_lookups: Vec<ChordId>,
+    /// (probed node, nonce) of the outstanding liveness probe.
+    outstanding_ping: Option<(NodeRef, u64)>,
+    /// Successor awaiting a PredecessorReply since the last stabilize.
+    awaiting_stab: Option<NodeRef>,
+    /// Round-robin cursor over ping targets.
+    ping_cursor: usize,
+}
+
+impl ChordAgent {
+    /// A node that knows its own identity but has not joined.
+    pub fn new(me: NodeRef, cfg: ChordConfig) -> ChordAgent {
+        ChordAgent {
+            table: RoutingTable::new(me, cfg.n_successors),
+            cfg,
+            joined: false,
+            alive: true,
+            next_req: 0,
+            pending: HashMap::new(),
+            next_finger_row: 0,
+            lookups: Vec::new(),
+            failed_lookups: Vec::new(),
+            outstanding_ping: None,
+            awaiting_stab: None,
+            ping_cursor: 0,
+        }
+    }
+
+    /// Whether the node has completed its join.
+    pub fn joined(&self) -> bool {
+        self.joined
+    }
+
+    fn me(&self) -> NodeRef {
+        self.table.me()
+    }
+
+    fn send(&self, ctx: &mut Ctx<'_, ChordMsg>, to: NodeRef, msg: ChordMsg) {
+        let bytes = msg_bytes(&msg);
+        ctx.send(to.addr, msg, bytes);
+    }
+
+    fn issue_lookup(&mut self, ctx: &mut Ctx<'_, ChordMsg>, key: ChordId, purpose: Pending) {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.pending.insert(req, purpose);
+        let me = self.me();
+        // Start the recursive search at ourselves (zero-cost self-send
+        // keeps a single code path for hop counting).
+        self.send(
+            ctx,
+            me,
+            ChordMsg::FindSuccessor {
+                key,
+                origin: me,
+                req,
+                hops: 0,
+            },
+        );
+    }
+
+    fn become_joined(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+        if self.joined {
+            return;
+        }
+        self.joined = true;
+        ctx.schedule(self.cfg.stabilize_every, STABILIZE);
+        ctx.schedule(self.cfg.fix_fingers_every, FIX_FINGERS);
+        ctx.schedule(self.cfg.stabilize_every, FAILCHECK);
+    }
+
+    fn handle_find_successor(
+        &mut self,
+        ctx: &mut Ctx<'_, ChordMsg>,
+        key: ChordId,
+        origin: NodeRef,
+        req: u64,
+        hops: u32,
+    ) {
+        if !self.joined {
+            return; // mid-join node: drop, the origin's next try re-routes
+        }
+        // A freshly-joined node that has not yet learnt its predecessor
+        // must not claim ownership of anything (RoutingTable::owns treats
+        // an unknown predecessor as "owns all", which is only correct for
+        // a lone node): route via its successor instead.
+        let decision = if self.table.predecessor().is_none() && self.table.successor().is_some() {
+            let cp = self.table.closest_preceding(key);
+            if cp.id == self.me().id {
+                RouteDecision::Surrogate(self.table.successor().expect("checked"))
+            } else {
+                RouteDecision::Forward(cp)
+            }
+        } else {
+            self.table.route(key)
+        };
+        match decision {
+            RouteDecision::Local => {
+                let candidates = self.table.successors().to_vec();
+                let me = self.me();
+                self.send(
+                    ctx,
+                    origin,
+                    ChordMsg::FoundSuccessor {
+                        owner: me,
+                        candidates,
+                        req,
+                        hops,
+                    },
+                );
+            }
+            RouteDecision::Surrogate(next) | RouteDecision::Forward(next) => {
+                self.send(
+                    ctx,
+                    next,
+                    ChordMsg::FindSuccessor {
+                        key,
+                        origin,
+                        req,
+                        hops: hops + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_found(
+        &mut self,
+        ctx: &mut Ctx<'_, ChordMsg>,
+        owner: NodeRef,
+        candidates: Vec<NodeRef>,
+        req: u64,
+        hops: u32,
+    ) {
+        let Some(purpose) = self.pending.remove(&req) else {
+            return; // stale/duplicate answer
+        };
+        match purpose {
+            Pending::Join => {
+                self.table.add_successor(owner);
+                self.become_joined(ctx);
+                let me = self.me();
+                self.send(ctx, owner, ChordMsg::Notify { node: me });
+            }
+            Pending::FingerRow(row) => {
+                let start = self.me().id.finger_start(row as u32);
+                let interval = 1u64 << row;
+                let mut chosen = owner;
+                if self.cfg.pns_candidates > 0 {
+                    // PNS: the owner's successor list members that still
+                    // fall inside this finger's interval are equally
+                    // valid entries; pick the closest by RTT.
+                    let mut best_rtt = ctx.rtt_to(owner.addr);
+                    for c in candidates.into_iter().take(self.cfg.pns_candidates) {
+                        if c.id != self.me().id && start.cw_dist(c.id) < interval {
+                            let rtt = ctx.rtt_to(c.addr);
+                            if rtt < best_rtt {
+                                best_rtt = rtt;
+                                chosen = c;
+                            }
+                        }
+                    }
+                }
+                self.table.set_finger(row, Some(chosen));
+            }
+            Pending::UserLookup { key, started, .. } => {
+                self.lookups.push(LookupResult {
+                    key,
+                    owner,
+                    hops,
+                    latency: ctx.now().since(started),
+                });
+            }
+        }
+    }
+
+    fn stabilize(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+        // The probe sent last tick went unanswered: the successor is
+        // dead — scrub it and fail over to the next list entry.
+        if let Some(dead) = self.awaiting_stab.take() {
+            if self.table.successor() == Some(dead) {
+                self.table.remove(dead);
+            }
+        }
+        if let Some(succ) = self.table.successor() {
+            self.send(ctx, succ, ChordMsg::GetPredecessor);
+            self.awaiting_stab = Some(succ);
+        }
+    }
+
+    /// Liveness maintenance: ping one known node per tick (round-robin
+    /// over the table, predecessor included); a probe unanswered by the
+    /// next tick removes the node from every table slot. Also garbage-
+    /// collects and retries stale pending lookups.
+    fn failure_check(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+        if let Some((suspect, _)) = self.outstanding_ping.take() {
+            self.table.remove(suspect);
+        }
+        let known = self.table.known_nodes();
+        if !known.is_empty() {
+            let target = known[self.ping_cursor % known.len()];
+            self.ping_cursor = self.ping_cursor.wrapping_add(1);
+            let nonce = self.next_req;
+            self.next_req += 1;
+            self.outstanding_ping = Some((target, nonce));
+            self.send(ctx, target, ChordMsg::Ping { nonce });
+        }
+        // Retry or abandon user lookups that never completed (their path
+        // crossed a dead node); drop stale finger repairs (the cycle
+        // re-issues them anyway).
+        let timeout = SimDuration(self.cfg.stabilize_every.0 * 4);
+        let now = ctx.now();
+        let stale: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| match p {
+                Pending::UserLookup { issued, .. } => now.since(*issued) > timeout,
+                Pending::FingerRow(_) => false,
+                Pending::Join => false,
+            })
+            .map(|(&req, _)| req)
+            .collect();
+        for req in stale {
+            let Some(Pending::UserLookup {
+                key,
+                started,
+                attempt,
+                ..
+            }) = self.pending.remove(&req)
+            else {
+                continue;
+            };
+            if attempt + 1 >= LOOKUP_RETRIES {
+                self.failed_lookups.push(key);
+            } else {
+                self.issue_lookup(
+                    ctx,
+                    key,
+                    Pending::UserLookup {
+                        key,
+                        started,
+                        issued: now,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_predecessor_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, ChordMsg>,
+        from: AgentId,
+        pred: Option<NodeRef>,
+        successors: Vec<NodeRef>,
+    ) {
+        if self.awaiting_stab.map(|n| n.addr) == Some(from) {
+            self.awaiting_stab = None;
+        }
+        let Some(succ) = self.table.successor() else {
+            return;
+        };
+        if succ.addr != from {
+            return; // stale reply from a node no longer our successor
+        }
+        if let Some(p) = pred {
+            if p.id.in_open(self.me().id, succ.id) {
+                // A closer successor exists.
+                self.table.add_successor(p);
+            }
+        }
+        // Adopt the successor's list (shifted through add_successor's
+        // ordering and capping).
+        for s in successors {
+            self.table.add_successor(s);
+        }
+        if let Some(new_succ) = self.table.successor() {
+            let me = self.me();
+            self.send(ctx, new_succ, ChordMsg::Notify { node: me });
+        }
+    }
+
+    fn fix_fingers(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+        for _ in 0..self.cfg.fingers_per_tick {
+            let row = self.next_finger_row;
+            self.next_finger_row = (self.next_finger_row + 1) % FINGER_ROWS;
+            let key = self.me().id.finger_start(row as u32);
+            self.issue_lookup(ctx, key, Pending::FingerRow(row));
+        }
+    }
+}
+
+impl Agent for ChordAgent {
+    type Msg = ChordMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ChordMsg>, from: AgentId, msg: ChordMsg) {
+        if !self.alive {
+            return; // crashed: silent to the whole world
+        }
+        match msg {
+            ChordMsg::FindSuccessor {
+                key,
+                origin,
+                req,
+                hops,
+            } => self.handle_find_successor(ctx, key, origin, req, hops),
+            ChordMsg::FoundSuccessor {
+                owner,
+                candidates,
+                req,
+                hops,
+            } => self.handle_found(ctx, owner, candidates, req, hops),
+            ChordMsg::GetPredecessor if !self.joined => {
+                // Departed (between Leave and Rejoin): silent.
+            }
+            ChordMsg::GetPredecessor => {
+                let reply = ChordMsg::PredecessorReply {
+                    pred: self.table.predecessor(),
+                    successors: self.table.successors().to_vec(),
+                };
+                let bytes = msg_bytes(&reply);
+                ctx.send(from, reply, bytes);
+            }
+            ChordMsg::PredecessorReply { pred, successors } => {
+                self.on_predecessor_reply(ctx, from, pred, successors);
+            }
+            ChordMsg::Notify { node } => {
+                let adopt = match self.table.predecessor() {
+                    None => true,
+                    Some(p) => node.id.in_open(p.id, self.me().id),
+                };
+                if adopt && node.id != self.me().id {
+                    self.table.set_predecessor(Some(node));
+                }
+                // Bootstrap case: a ring-of-one has no successor until the
+                // first joiner announces itself.
+                if self.table.successor().is_none() && node.id != self.me().id {
+                    self.table.add_successor(node);
+                }
+            }
+            ChordMsg::StartJoin { bootstrap } => {
+                if bootstrap.addr == ctx.me() {
+                    // First node: a ring of one.
+                    self.become_joined(ctx);
+                } else {
+                    // Ask the bootstrap node to find our successor; our
+                    // own table is empty so the search must start there.
+                    let req = self.next_req;
+                    self.next_req += 1;
+                    self.pending.insert(req, Pending::Join);
+                    let me = self.me();
+                    self.send(
+                        ctx,
+                        bootstrap,
+                        ChordMsg::FindSuccessor {
+                            key: me.id,
+                            origin: me,
+                            req,
+                            hops: 0,
+                        },
+                    );
+                }
+            }
+            ChordMsg::StartLookup { key } => {
+                let started = ctx.now();
+                self.issue_lookup(
+                    ctx,
+                    key,
+                    Pending::UserLookup {
+                        key,
+                        started,
+                        issued: started,
+                        attempt: 0,
+                    },
+                );
+            }
+            ChordMsg::Ping { nonce } => {
+                let pong = ChordMsg::Pong { nonce };
+                let bytes = msg_bytes(&pong);
+                ctx.send(from, pong, bytes);
+            }
+            ChordMsg::Pong { nonce } => {
+                if self.outstanding_ping.map(|(_, n)| n) == Some(nonce) {
+                    self.outstanding_ping = None;
+                }
+            }
+            ChordMsg::Fail => {
+                self.alive = false;
+            }
+            ChordMsg::Leave => {
+                let pred = self.table.predecessor();
+                let succ = self.table.successor();
+                if let Some(p) = pred {
+                    self.send(ctx, p, ChordMsg::Departing { pred, succ });
+                }
+                if let Some(s) = succ {
+                    self.send(ctx, s, ChordMsg::Departing { pred, succ });
+                }
+                // Departed: silent until a Rejoin control arrives.
+                self.joined = false;
+                self.table = RoutingTable::new(self.me(), self.cfg.n_successors);
+                self.pending.clear();
+                self.outstanding_ping = None;
+                self.awaiting_stab = None;
+            }
+            ChordMsg::Departing { pred, succ } => {
+                let me = self.me();
+                // The leaver's predecessor adopts the leaver's successor
+                // and vice versa; everyone scrubs the leaver lazily via
+                // failure detection (the leaver stopped responding).
+                if let Some(p) = pred {
+                    if p.id == me.id {
+                        if let Some(s) = succ {
+                            self.table.add_successor(s);
+                        }
+                    }
+                }
+                if let Some(s) = succ {
+                    if s.id == me.id {
+                        // The leaver sat directly before us: its
+                        // predecessor becomes ours.
+                        if let Some(p) = pred {
+                            self.table.set_predecessor(Some(p));
+                        }
+                    }
+                }
+            }
+            ChordMsg::Rejoin { new_id, bootstrap } => {
+                assert!(!self.joined, "must Leave before Rejoin");
+                self.alive = true;
+                self.table = RoutingTable::new(
+                    NodeRef {
+                        id: new_id,
+                        addr: ctx.me(),
+                    },
+                    self.cfg.n_successors,
+                );
+                let req = self.next_req;
+                self.next_req += 1;
+                self.pending.insert(req, Pending::Join);
+                let me = self.me();
+                self.send(
+                    ctx,
+                    bootstrap,
+                    ChordMsg::FindSuccessor {
+                        key: me.id,
+                        origin: me,
+                        req,
+                        hops: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ChordMsg>, tag: TimerTag) {
+        if !self.alive {
+            return; // crashed: timers fizzle, nothing is rescheduled
+        }
+        match tag {
+            STABILIZE => {
+                self.stabilize(ctx);
+                ctx.schedule(self.cfg.stabilize_every, STABILIZE);
+            }
+            FIX_FINGERS => {
+                self.fix_fingers(ctx);
+                ctx.schedule(self.cfg.fix_fingers_every, FIX_FINGERS);
+            }
+            FAILCHECK => {
+                self.failure_check(ctx);
+                ctx.schedule(self.cfg.stabilize_every, FAILCHECK);
+            }
+            other => unreachable!("unknown timer {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Per-node routing state and the next-hop rule.
+
+use crate::id::{ChordId, NodeRef};
+
+/// Number of finger-table rows (one per identifier bit).
+pub const FINGER_ROWS: usize = 64;
+
+/// Default successor-list length (the paper's p2psim configuration).
+pub const DEFAULT_SUCCESSORS: usize = 16;
+
+/// What a node should do with a key it is routing toward (paper
+/// Algorithm 3's `nexthop` plus the ownership cases).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteDecision {
+    /// This node owns the key (`key ∈ (predecessor, me]`): handle it here.
+    Local,
+    /// This node is the closest predecessor of the key it knows of, and
+    /// its immediate successor owns the key: hand over to the surrogate.
+    Surrogate(NodeRef),
+    /// Forward to the table entry closest-preceding the key.
+    Forward(NodeRef),
+}
+
+/// A Chord node's routing table: finger table + successor list +
+/// predecessor (the composition the paper's footnote 4 describes).
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    me: NodeRef,
+    fingers: Vec<Option<NodeRef>>,
+    successors: Vec<NodeRef>,
+    max_successors: usize,
+    predecessor: Option<NodeRef>,
+}
+
+impl RoutingTable {
+    /// An empty table for a node that has not joined yet.
+    pub fn new(me: NodeRef, max_successors: usize) -> RoutingTable {
+        assert!(max_successors >= 1);
+        RoutingTable {
+            me,
+            fingers: vec![None; FINGER_ROWS],
+            successors: Vec::new(),
+            max_successors,
+            predecessor: None,
+        }
+    }
+
+    /// This node's identity.
+    pub fn me(&self) -> NodeRef {
+        self.me
+    }
+
+    /// The immediate successor, if known.
+    pub fn successor(&self) -> Option<NodeRef> {
+        self.successors.first().copied()
+    }
+
+    /// The whole successor list, nearest first.
+    pub fn successors(&self) -> &[NodeRef] {
+        &self.successors
+    }
+
+    /// The predecessor, if known.
+    pub fn predecessor(&self) -> Option<NodeRef> {
+        self.predecessor
+    }
+
+    /// Set the predecessor.
+    pub fn set_predecessor(&mut self, pred: Option<NodeRef>) {
+        self.predecessor = pred;
+    }
+
+    /// Finger `i` (row `i` targets `me + 2^i`).
+    pub fn finger(&self, i: usize) -> Option<NodeRef> {
+        self.fingers[i]
+    }
+
+    /// Install finger `i`.
+    pub fn set_finger(&mut self, i: usize, node: Option<NodeRef>) {
+        self.fingers[i] = node.filter(|n| n.id != self.me.id);
+    }
+
+    /// Insert a successor, keeping the list sorted by clockwise distance
+    /// from `me`, deduplicated, and capped at the configured length.
+    pub fn add_successor(&mut self, node: NodeRef) {
+        if node.id == self.me.id {
+            return;
+        }
+        let key = self.me.id.cw_dist(node.id);
+        match self
+            .successors
+            .binary_search_by_key(&key, |s| self.me.id.cw_dist(s.id))
+        {
+            Ok(_) => {}
+            Err(pos) => {
+                self.successors.insert(pos, node);
+                self.successors.truncate(self.max_successors);
+            }
+        }
+    }
+
+    /// Replace the successor list wholesale (stabilization adopts the
+    /// successor's list shifted by one).
+    pub fn set_successors(&mut self, nodes: impl IntoIterator<Item = NodeRef>) {
+        self.successors.clear();
+        for n in nodes {
+            self.add_successor(n);
+        }
+    }
+
+    /// Drop a node (believed failed) from every table slot.
+    pub fn remove(&mut self, node: NodeRef) {
+        self.successors.retain(|s| s.id != node.id);
+        for f in &mut self.fingers {
+            if *f == Some(node) {
+                *f = None;
+            }
+        }
+        if self.predecessor == Some(node) {
+            self.predecessor = None;
+        }
+    }
+
+    /// Every distinct node this table knows about (fingers, successors,
+    /// predecessor), unordered.
+    pub fn known_nodes(&self) -> Vec<NodeRef> {
+        let mut all: Vec<NodeRef> = self
+            .fingers
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.successors.iter().copied())
+            .chain(self.predecessor)
+            .collect();
+        all.sort_unstable_by_key(|n| n.id);
+        all.dedup_by_key(|n| n.id);
+        all
+    }
+
+    /// True when this node owns `key` (`key ∈ (predecessor, me]`). A
+    /// node with no predecessor (single-node ring) owns everything.
+    pub fn owns(&self, key: ChordId) -> bool {
+        match self.predecessor {
+            Some(p) => key.in_half_open(p.id, self.me.id),
+            None => true,
+        }
+    }
+
+    /// The table entry closest-preceding `key`: the known node with the
+    /// largest identifier in `(me, key)`, or `me` itself when none
+    /// exists (then `key ∈ (me, successor]` and the successor owns it).
+    pub fn closest_preceding(&self, key: ChordId) -> NodeRef {
+        let mut best = self.me;
+        let mut best_dist = u64::MAX; // cw distance from candidate to key; smaller = closer before key
+        let candidates = self
+            .fingers
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.successors.iter().copied());
+        for c in candidates {
+            if c.id.in_open(self.me.id, key) {
+                let d = c.id.cw_dist(key);
+                if d < best_dist {
+                    best_dist = d;
+                    best = c;
+                }
+            }
+        }
+        best
+    }
+
+    /// The routing decision for `key` — the dispatch at the heart of the
+    /// paper's Algorithm 3 (`nexthop`, lines 15–20).
+    pub fn route(&self, key: ChordId) -> RouteDecision {
+        if self.owns(key) {
+            return RouteDecision::Local;
+        }
+        let cp = self.closest_preceding(key);
+        if cp.id == self.me.id {
+            match self.successor() {
+                // key ∈ (me, successor]: successor is the surrogate.
+                Some(s) => RouteDecision::Surrogate(s),
+                // Lone node: it owns everything (owns() already caught
+                // this when predecessor is unknown).
+                None => RouteDecision::Local,
+            }
+        } else {
+            RouteDecision::Forward(cp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u64) -> NodeRef {
+        // Address derived from id for readability.
+        NodeRef::new(id, (id % 1000) as usize)
+    }
+
+    fn table_with(me: u64, others: &[u64]) -> RoutingTable {
+        let mut t = RoutingTable::new(node(me), DEFAULT_SUCCESSORS);
+        for (i, &o) in others.iter().enumerate() {
+            t.add_successor(node(o));
+            t.set_finger(i, Some(node(o)));
+        }
+        t
+    }
+
+    #[test]
+    fn successor_list_sorted_and_capped() {
+        let mut t = RoutingTable::new(node(100), 3);
+        for id in [500, 200, 900, 300, 150] {
+            t.add_successor(node(id));
+        }
+        let ids: Vec<u64> = t.successors().iter().map(|n| n.id.0).collect();
+        assert_eq!(ids, vec![150, 200, 300]);
+        assert_eq!(t.successor().unwrap().id.0, 150);
+        // Duplicates are ignored.
+        t.add_successor(node(150));
+        assert_eq!(t.successors().len(), 3);
+        // Own id is ignored.
+        t.add_successor(node(100));
+        assert_eq!(t.successors().len(), 3);
+    }
+
+    #[test]
+    fn successor_list_wraps() {
+        let mut t = RoutingTable::new(node(u64::MAX - 10), 4);
+        t.add_successor(node(5));
+        t.add_successor(node(u64::MAX - 2));
+        let ids: Vec<u64> = t.successors().iter().map(|n| n.id.0).collect();
+        assert_eq!(ids, vec![u64::MAX - 2, 5]);
+    }
+
+    #[test]
+    fn ownership() {
+        let mut t = RoutingTable::new(node(100), 16);
+        // No predecessor: owns everything.
+        assert!(t.owns(ChordId(0)));
+        t.set_predecessor(Some(node(50)));
+        assert!(t.owns(ChordId(100)));
+        assert!(t.owns(ChordId(51)));
+        assert!(!t.owns(ChordId(50)));
+        assert!(!t.owns(ChordId(101)));
+        assert!(!t.owns(ChordId(0)));
+    }
+
+    #[test]
+    fn closest_preceding_picks_nearest_before_key() {
+        let t = table_with(100, &[200, 400, 800]);
+        assert_eq!(t.closest_preceding(ChordId(500)).id.0, 400);
+        assert_eq!(t.closest_preceding(ChordId(900)).id.0, 800);
+        assert_eq!(t.closest_preceding(ChordId(250)).id.0, 200);
+        // Nothing in (100, 150): me.
+        assert_eq!(t.closest_preceding(ChordId(150)).id.0, 100);
+        // Entry exactly at key is NOT in the open interval.
+        assert_eq!(t.closest_preceding(ChordId(200)).id.0, 100);
+    }
+
+    #[test]
+    fn route_decisions() {
+        let mut t = table_with(100, &[200, 400, 800]);
+        t.set_predecessor(Some(node(900)));
+        // Owned keys (wrapping from 900 through 100).
+        assert_eq!(t.route(ChordId(950)), RouteDecision::Local);
+        assert_eq!(t.route(ChordId(100)), RouteDecision::Local);
+        assert_eq!(t.route(ChordId(0)), RouteDecision::Local);
+        // Key just past me, before first successor: surrogate.
+        assert_eq!(t.route(ChordId(150)), RouteDecision::Surrogate(node(200)));
+        assert_eq!(t.route(ChordId(200)), RouteDecision::Surrogate(node(200)));
+        // Far keys: forward to the closest preceding entry.
+        assert_eq!(t.route(ChordId(500)), RouteDecision::Forward(node(400)));
+        assert_eq!(t.route(ChordId(850)), RouteDecision::Forward(node(800)));
+    }
+
+    #[test]
+    fn remove_scrubs_all_slots() {
+        let mut t = table_with(100, &[200, 400]);
+        t.set_predecessor(Some(node(400)));
+        t.remove(node(400));
+        assert!(t.successors().iter().all(|n| n.id.0 != 400));
+        assert!(t.predecessor().is_none());
+        assert!((0..FINGER_ROWS).all(|i| t.finger(i).map(|n| n.id.0) != Some(400)));
+    }
+
+    #[test]
+    fn known_nodes_deduplicates() {
+        let mut t = table_with(100, &[200, 400]);
+        t.set_predecessor(Some(node(400)));
+        let known = t.known_nodes();
+        let ids: Vec<u64> = known.iter().map(|n| n.id.0).collect();
+        assert_eq!(ids, vec![200, 400]);
+    }
+
+    #[test]
+    fn lone_node_routes_local() {
+        let t = RoutingTable::new(node(42), 16);
+        assert_eq!(t.route(ChordId(7)), RouteDecision::Local);
+    }
+}

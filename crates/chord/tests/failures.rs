@@ -1,0 +1,265 @@
+//! Failure handling: crash a fraction of a converged ring and assert
+//! that the survivors detect the failures, repair the ring, and keep
+//! answering lookups correctly.
+
+use chord::id::{ChordId, NodeRef};
+use chord::protocol::{ChordAgent, ChordConfig, ChordMsg};
+use chord::ring::OracleRing;
+use rand::RngCore;
+use simnet::{AgentId, Sim, SimRng, SimTime, Topology};
+
+fn build_converged(n: usize, seed: u64) -> (Sim<ChordAgent>, OracleRing) {
+    let mut rng = SimRng::new(seed);
+    let ring = OracleRing::with_random_ids(n, &mut rng);
+    let topo = Topology::king_like(n, seed ^ 0xFA11, 180.0);
+    let cfg = ChordConfig {
+        pns_candidates: 0,
+        ..ChordConfig::default()
+    };
+    let mut by_addr: Vec<Option<NodeRef>> = vec![None; n];
+    for node in ring.nodes() {
+        by_addr[node.addr.0] = Some(*node);
+    }
+    let agents: Vec<ChordAgent> = by_addr
+        .into_iter()
+        .map(|nr| ChordAgent::new(nr.expect("gap"), cfg.clone()))
+        .collect();
+    let mut sim = Sim::new(topo, agents, seed);
+    let bootstrap = *ring.nodes().iter().find(|nd| nd.addr.0 == 0).unwrap();
+    sim.inject(SimTime::ZERO, AgentId(0), ChordMsg::StartJoin { bootstrap });
+    let mut jrng = SimRng::new(seed).fork(0x70);
+    for addr in 1..n {
+        let at = SimTime::from_millis(500 + jrng.below(20_000));
+        sim.inject(at, AgentId(addr), ChordMsg::StartJoin { bootstrap });
+    }
+    sim.run_until(SimTime::from_secs(120));
+    (sim, ring)
+}
+
+/// The expected successor of position `i` skipping dead addresses.
+fn next_alive(ring: &OracleRing, i: usize, dead: &[bool]) -> NodeRef {
+    let n = ring.len();
+    for step in 1..n {
+        let cand = ring.nodes()[(i + step) % n];
+        if !dead[cand.addr.0] {
+            return cand;
+        }
+    }
+    ring.nodes()[i]
+}
+
+#[test]
+fn ring_repairs_after_crashes() {
+    let n = 32;
+    let (mut sim, ring) = build_converged(n, 21);
+    // Crash 6 nodes at t=121s.
+    let mut dead = vec![false; n];
+    let mut krng = SimRng::new(99);
+    let mut killed = 0;
+    while killed < 6 {
+        let a = krng.index(n);
+        if !dead[a] {
+            dead[a] = true;
+            killed += 1;
+            sim.inject(SimTime::from_secs(121), AgentId(a), ChordMsg::Fail);
+        }
+    }
+    // Give detection (1 ping/tick round-robin over ~40 known nodes) and
+    // repair time.
+    sim.run_until(SimTime::from_secs(300));
+
+    for (i, node) in ring.nodes().iter().enumerate() {
+        if dead[node.addr.0] {
+            continue;
+        }
+        let agent = sim.agent(node.addr);
+        assert!(agent.alive);
+        let succ = agent.table.successor().expect("survivor has a successor");
+        assert!(
+            !dead[succ.addr.0],
+            "node {i} still points at dead successor {succ:?}"
+        );
+        assert_eq!(
+            succ,
+            next_alive(&ring, i, &dead),
+            "node {i} has the wrong repaired successor"
+        );
+    }
+}
+
+#[test]
+fn lookups_survive_crashes() {
+    let n = 32;
+    let (mut sim, ring) = build_converged(n, 22);
+    let mut dead = vec![false; n];
+    for a in [3usize, 11, 17, 26] {
+        dead[a] = true;
+        sim.inject(SimTime::from_secs(121), AgentId(a), ChordMsg::Fail);
+    }
+    // Let repair settle, then issue lookups from survivors.
+    sim.run_until(SimTime::from_secs(320));
+    let mut qrng = SimRng::new(5);
+    let mut expected = Vec::new();
+    for t in 0..40u64 {
+        let key = ChordId(qrng.next_u64());
+        let mut from = qrng.index(n);
+        while dead[from] {
+            from = qrng.index(n);
+        }
+        sim.inject(
+            SimTime::from_secs(320 + t),
+            AgentId(from),
+            ChordMsg::StartLookup { key },
+        );
+        expected.push((from, key));
+    }
+    sim.run_until(SimTime::from_secs(600));
+
+    for (from, key) in expected {
+        let agent = sim.agent(AgentId(from));
+        let answered = agent.lookups.iter().find(|l| l.key == key);
+        let abandoned = agent.failed_lookups.contains(&key);
+        assert!(
+            answered.is_some() || abandoned,
+            "lookup {key:?} from {from} neither answered nor abandoned"
+        );
+        if let Some(r) = answered {
+            // The correct owner among survivors: the first alive node at
+            // or after the key.
+            let mut owner = ring.owner_of(key);
+            let mut i = ring
+                .nodes()
+                .iter()
+                .position(|nd| nd.id == owner.id)
+                .unwrap();
+            while dead[owner.addr.0] {
+                i = (i + 1) % n;
+                owner = ring.nodes()[i];
+            }
+            assert_eq!(r.owner, owner, "lookup {key:?} found the wrong owner");
+            assert!(!dead[r.owner.addr.0]);
+        }
+    }
+    // The vast majority must actually be answered, not abandoned.
+    let answered: usize = sim.agents().map(|a| a.lookups.len()).sum();
+    assert!(
+        answered >= 36,
+        "only {answered}/40 lookups answered after repair"
+    );
+}
+
+#[test]
+fn healthy_ring_reports_no_failures() {
+    let n = 16;
+    let (mut sim, _ring) = build_converged(n, 23);
+    sim.run_until(SimTime::from_secs(250));
+    for a in 0..n {
+        let agent = sim.agent(AgentId(a));
+        assert!(agent.failed_lookups.is_empty());
+        assert!(agent.alive);
+        assert!(agent.table.successor().is_some());
+    }
+}
+
+#[test]
+fn lookups_survive_a_lossy_network() {
+    // 5% of cross-host messages vanish; the retry machinery must still
+    // answer (almost) every lookup correctly.
+    let n = 24;
+    let (mut sim, ring) = build_converged(n, 24);
+    sim.set_loss_rate(0.05);
+    let mut qrng = SimRng::new(6);
+    let mut expected = Vec::new();
+    for t in 0..40u64 {
+        let key = ChordId(qrng.next_u64());
+        let from = qrng.index(n);
+        sim.inject(
+            SimTime::from_secs(130 + t),
+            AgentId(from),
+            ChordMsg::StartLookup { key },
+        );
+        expected.push((from, key));
+    }
+    sim.run_until(SimTime::from_secs(500));
+    assert!(sim.stats().dropped > 0, "loss model must actually drop");
+
+    let mut answered = 0;
+    for (from, key) in expected {
+        if let Some(r) = sim
+            .agent(AgentId(from))
+            .lookups
+            .iter()
+            .find(|l| l.key == key)
+        {
+            assert_eq!(r.owner.id, ring.owner_of(key).id, "wrong owner for {key:?}");
+            answered += 1;
+        }
+    }
+    assert!(answered >= 36, "only {answered}/40 answered under 5% loss");
+}
+
+#[test]
+fn leave_and_rejoin_with_chosen_id_converges() {
+    // The paper's migration primitive: a (light) node leaves and rejoins
+    // at a split point chosen by a heavy node. At the protocol level:
+    // Leave -> ring heals around the gap -> Rejoin with the new id ->
+    // ring converges to the new membership.
+    let n = 24;
+    let (mut sim, ring) = build_converged(n, 25);
+
+    // Pick a mover and a target id: the midpoint of the widest gap
+    // between two other nodes (guaranteed unoccupied).
+    let mover = 5usize;
+    let mover_old = ring.nodes().iter().find(|nd| nd.addr.0 == mover).unwrap().id;
+    let mut widest = (0u64, 0u64);
+    for (i, nd) in ring.nodes().iter().enumerate() {
+        let next = ring.next_of(i);
+        let gap = nd.id.cw_dist(next.id);
+        if gap > widest.0 && nd.addr.0 != mover && next.addr.0 != mover {
+            widest = (gap, nd.id.0.wrapping_add(gap / 2));
+        }
+    }
+    let new_id = ChordId(widest.1);
+    assert_ne!(new_id, mover_old);
+
+    sim.inject(SimTime::from_secs(121), AgentId(mover), ChordMsg::Leave);
+    let bootstrap = *ring.nodes().iter().find(|nd| nd.addr.0 == 0).unwrap();
+    sim.inject(
+        SimTime::from_secs(200),
+        AgentId(mover),
+        ChordMsg::Rejoin { new_id, bootstrap },
+    );
+    sim.run_until(SimTime::from_secs(420));
+
+    // Expected membership: everyone else unchanged, mover at new_id.
+    let mut expect: Vec<NodeRef> = ring
+        .nodes()
+        .iter()
+        .filter(|nd| nd.addr.0 != mover)
+        .copied()
+        .collect();
+    expect.push(NodeRef {
+        id: new_id,
+        addr: AgentId(mover),
+    });
+    let healed = OracleRing::new(expect);
+    for (i, node) in healed.nodes().iter().enumerate() {
+        let agent = sim.agent(node.addr);
+        assert!(agent.joined(), "node {:?} not joined", node);
+        assert_eq!(
+            agent.table.me().id,
+            node.id,
+            "mover should carry its new id"
+        );
+        assert_eq!(
+            agent.table.successor().unwrap(),
+            healed.next_of(i),
+            "node {node:?} wrong successor after migration"
+        );
+        assert_eq!(
+            agent.table.predecessor().unwrap(),
+            healed.prev_of(i),
+            "node {node:?} wrong predecessor after migration"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Protocol-level integration tests: live joins converge to the oracle
+//! ring state, and lookups against the converged ring are correct — the
+//! justification for the experiments' pre-stabilized shortcut.
+
+use chord::id::{ChordId, NodeRef};
+use chord::protocol::{ChordAgent, ChordConfig, ChordMsg};
+use chord::ring::OracleRing;
+use chord::table::FINGER_ROWS;
+use rand::RngCore;
+use simnet::{AgentId, Sim, SimRng, SimTime, Topology};
+
+fn build_sim(n: usize, seed: u64, pns: usize) -> (Sim<ChordAgent>, OracleRing) {
+    let mut rng = SimRng::new(seed);
+    let ring = OracleRing::with_random_ids(n, &mut rng);
+    let topo = Topology::king_like(n, seed ^ 0xA5A5, 180.0);
+    let cfg = ChordConfig {
+        pns_candidates: pns,
+        ..ChordConfig::default()
+    };
+    // Agents indexed by address; ids from the oracle ring.
+    let mut by_addr: Vec<Option<NodeRef>> = vec![None; n];
+    for node in ring.nodes() {
+        by_addr[node.addr.0] = Some(*node);
+    }
+    let agents: Vec<ChordAgent> = by_addr
+        .into_iter()
+        .map(|nr| ChordAgent::new(nr.expect("gap"), cfg.clone()))
+        .collect();
+    (Sim::new(topo, agents, seed), ring)
+}
+
+/// Drive all joins: node 0 bootstraps itself at t=0, the rest join at
+/// staggered random times through an already-joined node.
+fn drive_joins(sim: &mut Sim<ChordAgent>, ring: &OracleRing, seed: u64) {
+    let n = ring.len();
+    let mut rng = SimRng::new(seed).fork(77);
+    let bootstrap = NodeRef {
+        id: ring.nodes().iter().find(|nd| nd.addr.0 == 0).unwrap().id,
+        addr: AgentId(0),
+    };
+    sim.inject(
+        SimTime::ZERO,
+        AgentId(0),
+        ChordMsg::StartJoin {
+            bootstrap,
+        },
+    );
+    for addr in 1..n {
+        let at = SimTime::from_millis(1000 + rng.below(30_000));
+        sim.inject(at, AgentId(addr), ChordMsg::StartJoin { bootstrap });
+    }
+}
+
+#[test]
+fn joins_converge_to_oracle_ring() {
+    let n = 32;
+    let (mut sim, ring) = build_sim(n, 42, 0);
+    drive_joins(&mut sim, &ring, 42);
+    // Joins finish by ~31 s; give stabilization and finger repair time.
+    sim.run_until(SimTime::from_secs(120));
+
+    for (i, node) in ring.nodes().iter().enumerate() {
+        let agent = sim.agent(node.addr);
+        assert!(agent.joined(), "node {i} never joined");
+        let succ = agent.table.successor().expect("successor known");
+        assert_eq!(succ, ring.next_of(i), "node {i} has wrong successor");
+        let pred = agent.table.predecessor().expect("predecessor known");
+        assert_eq!(pred, ring.prev_of(i), "node {i} has wrong predecessor");
+        // Successor list must be the next nodes in ring order.
+        for (s, got) in agent.table.successors().iter().enumerate() {
+            assert_eq!(*got, ring.nodes()[(i + 1 + s) % n], "node {i} succ[{s}]");
+        }
+    }
+}
+
+#[test]
+fn fingers_converge_to_ideal_without_pns() {
+    let n = 24;
+    let (mut sim, ring) = build_sim(n, 7, 0);
+    drive_joins(&mut sim, &ring, 7);
+    sim.run_until(SimTime::from_secs(180));
+
+    let mut correct = 0u32;
+    let mut total = 0u32;
+    for node in ring.nodes() {
+        let agent = sim.agent(node.addr);
+        for row in 0..FINGER_ROWS {
+            let start = node.id.finger_start(row as u32);
+            let ideal = ring.successor_of(start);
+            if ideal.id == node.id {
+                continue;
+            }
+            total += 1;
+            if agent.table.finger(row) == Some(ideal) {
+                correct += 1;
+            }
+        }
+    }
+    // All fingers should have been repaired by now.
+    assert_eq!(correct, total, "{correct}/{total} fingers converged");
+}
+
+#[test]
+fn lookups_on_converged_ring_are_correct() {
+    let n = 32;
+    let (mut sim, ring) = build_sim(n, 9, 0);
+    drive_joins(&mut sim, &ring, 9);
+    sim.run_until(SimTime::from_secs(150));
+
+    // Issue lookups from varied nodes for varied keys.
+    let mut rng = SimRng::new(123);
+    let mut expected: Vec<(usize, ChordId)> = Vec::new();
+    for t in 0..50 {
+        let key = ChordId(rng.next_u64());
+        let from = rng.index(n);
+        sim.inject(
+            SimTime::from_secs(150 + t),
+            AgentId(from),
+            ChordMsg::StartLookup { key },
+        );
+        expected.push((from, key));
+    }
+    sim.run_until(SimTime::from_secs(400));
+
+    let mut seen = 0;
+    for (from, key) in expected {
+        let agent = sim.agent(AgentId(from));
+        let r = agent
+            .lookups
+            .iter()
+            .find(|l| l.key == key)
+            .unwrap_or_else(|| panic!("lookup for {key:?} from {from} unanswered"));
+        assert_eq!(r.owner, ring.owner_of(key), "wrong owner for {key:?}");
+        assert!(r.hops <= 16, "too many hops: {}", r.hops);
+        seen += 1;
+    }
+    assert_eq!(seen, 50);
+}
+
+#[test]
+fn pns_lookups_correct_and_faster() {
+    let n = 48;
+    // Same membership/topology, with and without PNS.
+    let run = |pns: usize| {
+        let (mut sim, ring) = build_sim(n, 11, pns);
+        drive_joins(&mut sim, &ring, 11);
+        sim.run_until(SimTime::from_secs(200));
+        let mut rng = SimRng::new(5);
+        for t in 0..80u64 {
+            let key = ChordId(rng.next_u64());
+            let from = rng.index(n);
+            sim.inject(
+                SimTime::from_secs(200) + simnet::SimDuration::from_millis(t * 200),
+                AgentId(from),
+                ChordMsg::StartLookup { key },
+            );
+        }
+        sim.run_until(SimTime::from_secs(600));
+        let mut latencies: Vec<f64> = Vec::new();
+        for node in ring.nodes() {
+            for l in &sim.agent(node.addr).lookups {
+                assert_eq!(l.owner, ring.owner_of(l.key), "pns={pns} wrong owner");
+                latencies.push(l.latency.as_millis_f64());
+            }
+        }
+        assert_eq!(latencies.len(), 80, "pns={pns} lost lookups");
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let plain = run(0);
+    let pns = run(16);
+    assert!(
+        pns < plain,
+        "PNS should cut mean lookup latency: {pns:.1}ms vs {plain:.1}ms"
+    );
+}
+
+#[test]
+fn rng_next_u64_available() {
+    // Guard: tests above rely on SimRng exposing RngCore.
+    use rand::RngCore;
+    let mut r = SimRng::new(0);
+    let _ = r.next_u64();
+}

@@ -1,0 +1,135 @@
+//! Index-space boundary determination (paper §3.1).
+//!
+//! Partitioning the index space requires per-dimension bounds `<L, H>`.
+//! The paper gives two routes:
+//!
+//! 1. **From the metric** — a bounded metric bounds every coordinate by
+//!    `[0, upper_bound]` directly (an unbounded one is first wrapped in
+//!    [`metric::Bounded`], the `d/(1+d)` transform).
+//! 2. **From the selection sample** — the minimum and maximum distance
+//!    between the landmark set and the initially sampled objects bound
+//!    each dimension; later objects falling outside are clamped onto the
+//!    boundary by the hash (see [`lph`]'s `Grid::hash`).
+
+use std::borrow::Borrow;
+
+use metric::Metric;
+
+use crate::mapper::Mapper;
+
+/// Per-dimension index-space bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Boundary {
+    /// Per-dimension `(low, high)` pairs, one per landmark.
+    pub dims: Vec<(f64, f64)>,
+}
+
+impl Boundary {
+    /// Number of dimensions.
+    pub fn k(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Lower bounds per dimension.
+    pub fn lows(&self) -> Vec<f64> {
+        self.dims.iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Upper bounds per dimension.
+    pub fn highs(&self) -> Vec<f64> {
+        self.dims.iter().map(|&(_, h)| h).collect()
+    }
+}
+
+/// Boundary route 1: every coordinate of the index space is a distance,
+/// so a metric bounded by `B` bounds every dimension by `[0, B]`.
+/// Returns `None` for unbounded metrics (wrap them in [`metric::Bounded`]
+/// or use [`boundary_from_sample`]).
+pub fn boundary_from_metric<Q: ?Sized, M: Metric<Q>>(metric: &M, k: usize) -> Option<Boundary> {
+    metric.upper_bound().map(|b| Boundary {
+        dims: vec![(0.0, b); k],
+    })
+}
+
+/// Boundary route 2: map the selection sample and take per-dimension
+/// min/max. A small relative margin keeps sample extremes strictly
+/// interior so near-boundary queries still have room.
+pub fn boundary_from_sample<T, Q, M>(mapper: &Mapper<T, M>, sample: &[T], margin: f64) -> Boundary
+where
+    T: Borrow<Q>,
+    Q: ?Sized,
+    M: Metric<Q>,
+{
+    assert!(!sample.is_empty(), "cannot bound an empty sample");
+    assert!(margin >= 0.0);
+    let k = mapper.k();
+    let mut lo = vec![f64::INFINITY; k];
+    let mut hi = vec![f64::NEG_INFINITY; k];
+    for s in sample {
+        let p = mapper.map(s.borrow());
+        for d in 0..k {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    let dims = (0..k)
+        .map(|d| {
+            let span = (hi[d] - lo[d]).max(f64::MIN_POSITIVE);
+            let pad = span * margin;
+            ((lo[d] - pad).max(0.0), hi[d] + pad)
+        })
+        .collect();
+    Boundary { dims }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Angular, Bounded, SparseVector, L2};
+
+    #[test]
+    fn from_bounded_metric() {
+        let m = L2::bounded(100, 0.0, 100.0);
+        let b = boundary_from_metric(&m, 10).unwrap();
+        assert_eq!(b.k(), 10);
+        assert_eq!(b.dims[0], (0.0, 1000.0));
+        assert_eq!(b.lows(), vec![0.0; 10]);
+        assert_eq!(b.highs(), vec![1000.0; 10]);
+    }
+
+    #[test]
+    fn unbounded_metric_gives_none() {
+        assert!(boundary_from_metric::<[f32], _>(&L2::new(), 5).is_none());
+        // The d/(1+d) adapter makes it bounded by 1.
+        let b = boundary_from_metric::<[f32], _>(&Bounded::new(L2::new()), 5).unwrap();
+        assert_eq!(b.dims[0], (0.0, 1.0));
+    }
+
+    #[test]
+    fn angular_metric_bounded_by_half_pi() {
+        let b = boundary_from_metric::<SparseVector, _>(&Angular::new(), 3).unwrap();
+        assert!((b.dims[0].1 - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sample_covers_the_sample() {
+        let landmarks = vec![vec![0.0f32, 0.0]];
+        let mapper = Mapper::new(L2::new(), landmarks);
+        let sample: Vec<Vec<f32>> = vec![vec![1.0, 0.0], vec![5.0, 0.0], vec![3.0, 4.0]];
+        let b = boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.0);
+        assert_eq!(b.k(), 1);
+        assert_eq!(b.dims[0], (1.0, 5.0));
+        // With a margin the bounds widen (but never below zero).
+        let b = boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.1);
+        assert!(b.dims[0].0 < 1.0 && b.dims[0].0 >= 0.0);
+        assert!(b.dims[0].1 > 5.0);
+    }
+
+    #[test]
+    fn margin_never_goes_negative() {
+        let mapper = Mapper::new(L2::new(), vec![vec![0.0f32]]);
+        let sample: Vec<Vec<f32>> = vec![vec![0.0], vec![1.0]];
+        let b = boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.5);
+        assert!(b.dims[0].0 >= 0.0);
+    }
+}

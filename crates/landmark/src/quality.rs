@@ -1,0 +1,176 @@
+//! Landmark-set quality evaluation.
+//!
+//! The paper's future-work plan (§6) is to "periodically generate and
+//! evaluate" new landmark sets and re-index when a new set outperforms
+//! the current one by a threshold. That requires a *score*. The natural
+//! one is the tightness of the contractive lower bound the mapping
+//! provides: for objects `x, y`,
+//!
+//! ```text
+//! linf(map(x), map(y)) <= d(x, y)
+//! ```
+//!
+//! always holds (see [`crate::mapper`]), and the closer the left side
+//! tracks the right, the better the index space filters candidates —
+//! a ratio near 1 means range queries touch few false cells, near 0
+//! means the landmarks cannot tell objects apart (the paper's greedy/
+//! TREC pathology, where most coordinates sit at the metric's maximum).
+
+use std::borrow::Borrow;
+
+use metric::Metric;
+use simnet::SimRng;
+
+use crate::mapper::Mapper;
+
+/// Mean `linf(map(x), map(y)) / d(x, y)` over `pairs` random sample
+/// pairs (identical pairs are skipped). Returns a value in `[0, 1]`
+/// (up to floating-point noise); higher is better.
+pub fn filtering_efficiency<T, Q, M>(
+    mapper: &Mapper<T, M>,
+    sample: &[T],
+    pairs: usize,
+    rng: &mut SimRng,
+) -> f64
+where
+    T: Borrow<Q>,
+    Q: ?Sized,
+    M: Metric<Q>,
+{
+    assert!(sample.len() >= 2, "need at least two objects to compare");
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    let mut attempts = 0usize;
+    while counted < pairs && attempts < pairs * 20 {
+        attempts += 1;
+        let i = rng.index(sample.len());
+        let j = rng.index(sample.len());
+        if i == j {
+            continue;
+        }
+        let d = mapper.metric().distance(sample[i].borrow(), sample[j].borrow());
+        if d <= 0.0 {
+            continue; // duplicate objects carry no signal
+        }
+        let mi = mapper.map(sample[i].borrow());
+        let mj = mapper.map(sample[j].borrow());
+        let linf = mi
+            .iter()
+            .zip(&mj)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        total += (linf / d).min(1.0);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Decide whether a candidate landmark set should replace the current
+/// one: true when the candidate's filtering efficiency exceeds the
+/// current one's by at least `threshold` (the paper's "if the new
+/// landmark set outperforms the current one according to some
+/// threshold").
+pub fn should_refresh<T, Q, M>(
+    current: &Mapper<T, M>,
+    candidate: &Mapper<T, M>,
+    sample: &[T],
+    pairs: usize,
+    threshold: f64,
+    rng: &mut SimRng,
+) -> bool
+where
+    T: Borrow<Q>,
+    Q: ?Sized,
+    M: Metric<Q>,
+{
+    let cur = filtering_efficiency(current, sample, pairs, &mut rng.fork(1));
+    let cand = filtering_efficiency(candidate, sample, pairs, &mut rng.fork(2));
+    cand >= cur + threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{greedy, kmeans};
+    use metric::L2;
+
+    fn clustered_sample(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SimRng::new(seed);
+        let centers = [[10.0f32, 10.0], [90.0, 10.0], [50.0, 90.0]];
+        (0..n)
+            .map(|_| {
+                let c = centers[rng.index(3)];
+                vec![
+                    c[0] + (rng.f64() as f32 - 0.5) * 8.0,
+                    c[1] + (rng.f64() as f32 - 0.5) * 8.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn good_landmarks_score_higher_than_degenerate_ones() {
+        let sample = clustered_sample(300, 1);
+        let metric = L2::new();
+        let mut rng = SimRng::new(2);
+        let good = Mapper::new(metric, kmeans::<_, [f32], _>(&metric, &sample, 3, 10, &mut rng));
+        // Degenerate: three copies of (almost) the same landmark — its
+        // coordinates are redundant, so the L∞ bound is loose.
+        let bad = Mapper::new(
+            metric,
+            vec![
+                vec![500.0f32, 500.0],
+                vec![500.5, 500.0],
+                vec![500.0, 500.5],
+            ],
+        );
+        let mut r1 = SimRng::new(3);
+        let mut r2 = SimRng::new(3);
+        let e_good = filtering_efficiency::<_, [f32], _>(&good, &sample, 400, &mut r1);
+        let e_bad = filtering_efficiency::<_, [f32], _>(&bad, &sample, 400, &mut r2);
+        assert!(
+            e_good > e_bad + 0.1,
+            "good {e_good:.3} should beat degenerate {e_bad:.3}"
+        );
+        assert!((0.0..=1.0 + 1e-9).contains(&e_good));
+        assert!((0.0..=1.0 + 1e-9).contains(&e_bad));
+    }
+
+    #[test]
+    fn efficiency_is_deterministic_in_rng() {
+        let sample = clustered_sample(100, 4);
+        let metric = L2::new();
+        let mut rng = SimRng::new(5);
+        let m = Mapper::new(metric, greedy::<_, [f32], _>(&metric, &sample, 3, &mut rng));
+        let a = filtering_efficiency::<_, [f32], _>(&m, &sample, 200, &mut SimRng::new(9));
+        let b = filtering_efficiency::<_, [f32], _>(&m, &sample, 200, &mut SimRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn should_refresh_requires_threshold_improvement() {
+        let sample = clustered_sample(300, 6);
+        let metric = L2::new();
+        let mut rng = SimRng::new(7);
+        let good = Mapper::new(metric, kmeans::<_, [f32], _>(&metric, &sample, 3, 10, &mut rng));
+        let bad = Mapper::new(metric, vec![vec![500.0f32, 500.0], vec![500.5, 500.0]]);
+        let mut r = SimRng::new(8);
+        assert!(should_refresh::<_, [f32], _>(
+            &bad, &good, &sample, 300, 0.05, &mut r
+        ));
+        // The reverse replacement must be rejected.
+        let mut r = SimRng::new(8);
+        assert!(!should_refresh::<_, [f32], _>(
+            &good, &bad, &sample, 300, 0.05, &mut r
+        ));
+        // A set never beats itself by a positive threshold.
+        let mut r = SimRng::new(8);
+        assert!(!should_refresh::<_, [f32], _>(
+            &good, &good, &sample, 300, 0.05, &mut r
+        ));
+    }
+}

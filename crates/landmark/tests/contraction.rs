@@ -1,0 +1,97 @@
+//! Property tests: the landmark mapping is contractive (the superset
+//! guarantee of the whole architecture) for every selection method and
+//! several metrics.
+
+use landmark::{boundary_from_sample, greedy, kmeans, kmedoids, Mapper};
+use metric::{EditDistance, Metric, L2};
+use proptest::prelude::*;
+use simnet::SimRng;
+
+fn linf(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapping_contracts_l2(
+        sample in prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 4), 10..40),
+        a in prop::collection::vec(-50.0f32..50.0, 4),
+        b in prop::collection::vec(-50.0f32..50.0, 4),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let metric = L2::new();
+        for landmarks in [
+            greedy::<_, [f32], _>(&metric, &sample, 4, &mut rng),
+            kmeans::<_, [f32], _>(&metric, &sample, 4, 5, &mut rng),
+            kmedoids::<_, [f32], _>(&metric, &sample, 4, 5, &mut rng),
+        ] {
+            let mapper = Mapper::new(metric, landmarks);
+            let ma = mapper.map(a.as_slice());
+            let mb = mapper.map(b.as_slice());
+            let d = metric.distance(&a, &b);
+            prop_assert!(linf(&ma, &mb) <= d + 1e-6,
+                "mapping expanded {} > {}", linf(&ma, &mb), d);
+        }
+    }
+
+    #[test]
+    fn mapping_contracts_edit_distance(
+        sample in prop::collection::vec("[ACGT]{4,12}", 6..20),
+        a in "[ACGT]{0,16}",
+        b in "[ACGT]{0,16}",
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let landmarks = greedy::<_, str, _>(&EditDistance, &sample, 3, &mut rng);
+        let mapper = Mapper::new(EditDistance, landmarks);
+        let ma = mapper.map(a.as_str());
+        let mb = mapper.map(b.as_str());
+        let d: f64 = Metric::<str>::distance(&EditDistance, &a, &b);
+        prop_assert!(linf(&ma, &mb) <= d + 1e-9);
+    }
+
+    #[test]
+    fn sampled_boundary_contains_all_mapped_sample_points(
+        sample in prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 3), 8..30),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let metric = L2::new();
+        let landmarks = greedy::<_, [f32], _>(&metric, &sample, 3, &mut rng);
+        let mapper = Mapper::new(metric, landmarks);
+        let boundary = boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.0);
+        for s in &sample {
+            let p = mapper.map(s.as_slice());
+            for d in 0..boundary.k() {
+                prop_assert!(p[d] >= boundary.dims[d].0 - 1e-12);
+                prop_assert!(p[d] <= boundary.dims[d].1 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_landmarks_are_distinct(
+        sample in prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 2), 12..30),
+        seed in 0u64..1000,
+    ) {
+        // Greedy never re-picks an already chosen object unless the
+        // sample has duplicates closer than every alternative.
+        let mut rng = SimRng::new(seed);
+        let metric = L2::new();
+        let mut dedup = sample.clone();
+        dedup.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dedup.dedup();
+        let k = 4.min(dedup.len());
+        let lms = greedy::<_, [f32], _>(&metric, &dedup, k, &mut rng);
+        let mut sorted = lms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "greedy picked duplicates");
+    }
+}

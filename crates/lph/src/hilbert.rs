@@ -1,0 +1,351 @@
+//! Hilbert space-filling-curve mapping — the locality baseline.
+//!
+//! The paper's related work compares against SCRAP, which linearizes the
+//! multi-dimensional space with a **Hilbert curve** before range
+//! partitioning. The paper's own Algorithm 2 is a bit-interleaving
+//! (Z-order/Morton) bisection — the price of the prefix structure that
+//! Algorithms 3–5 route with. This module implements the d-dimensional
+//! Hilbert transform (Skilling's 2004 algorithm) so the locality of the
+//! two curves can be measured head-to-head: for a query region, how many
+//! *contiguous runs* of the 1-d key space does each curve map it to?
+//! Every run is a separate ring arc a query must visit, so fewer runs =
+//! better locality. (`benches/ablation_curves.rs` runs the comparison;
+//! Hilbert wins on runs, Z-order pays that price for routable prefixes.)
+
+use crate::rect::Rect;
+
+/// A Hilbert-curve quantizer over a bounded box: each dimension is
+/// quantized to `2^bits` cells and the cell is mapped to its Hilbert
+/// rank in `[0, 2^(dims·bits))`. Requires `dims · bits <= 64`.
+#[derive(Clone, Debug)]
+pub struct HilbertGrid {
+    bounds: Rect,
+    bits: u32,
+}
+
+impl HilbertGrid {
+    /// Build over `bounds` with `bits` of resolution per dimension.
+    pub fn new(bounds: Rect, bits: u32) -> HilbertGrid {
+        assert!((1..=32).contains(&bits));
+        assert!(
+            bounds.dims() as u32 * bits <= 64,
+            "dims x bits must fit in a 64-bit rank"
+        );
+        HilbertGrid { bounds, bits }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.bounds.dims()
+    }
+
+    /// Bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Cells per dimension (`2^bits`).
+    pub fn cells_per_dim(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Quantize a point to its per-dimension cell coordinates.
+    pub fn quantize(&self, point: &[f64]) -> Vec<u32> {
+        assert_eq!(point.len(), self.dims());
+        let cells = self.cells_per_dim() as f64;
+        (0..self.dims())
+            .map(|d| {
+                let lo = self.bounds.lo()[d];
+                let hi = self.bounds.hi()[d];
+                let x = point[d].clamp(lo, hi);
+                let f = ((x - lo) / (hi - lo) * cells).floor();
+                (f.min(cells - 1.0)) as u32
+            })
+            .collect()
+    }
+
+    /// Hilbert rank of a point.
+    pub fn hash(&self, point: &[f64]) -> u64 {
+        self.rank_of_cell(&self.quantize(point))
+    }
+
+    /// Hilbert rank of a cell.
+    pub fn rank_of_cell(&self, cell: &[u32]) -> u64 {
+        let mut x = cell.to_vec();
+        axes_to_transpose(&mut x, self.bits);
+        // Interleave the transposed form, most significant bit first,
+        // cycling dimensions (Skilling's bit order).
+        let n = self.dims();
+        let mut rank = 0u64;
+        for b in (0..self.bits).rev() {
+            for xi in x.iter().take(n) {
+                rank = (rank << 1) | ((xi >> b) & 1) as u64;
+            }
+        }
+        rank
+    }
+
+    /// The cell at a Hilbert rank (inverse of [`Self::rank_of_cell`]).
+    pub fn cell_of_rank(&self, rank: u64) -> Vec<u32> {
+        let n = self.dims();
+        let mut x = vec![0u32; n];
+        let total_bits = self.bits * n as u32;
+        for (pos, xi) in (0..total_bits).zip((0..n).cycle()) {
+            let bit = (rank >> (total_bits - 1 - pos)) & 1;
+            let level = self.bits - 1 - pos / n as u32;
+            x[xi] |= (bit as u32) << level;
+        }
+        transpose_to_axes(&mut x, self.bits);
+        x
+    }
+
+    /// Morton (Z-order) rank of a cell at the same resolution — exactly
+    /// the bit-interleaving the paper's Algorithm 2 performs, expressed
+    /// as a rank for like-for-like comparison.
+    pub fn morton_rank_of_cell(&self, cell: &[u32]) -> u64 {
+        assert_eq!(cell.len(), self.dims());
+        let n = self.dims();
+        let mut rank = 0u64;
+        for b in (0..self.bits).rev() {
+            for ci in cell.iter().take(n) {
+                rank = (rank << 1) | ((ci >> b) & 1) as u64;
+            }
+        }
+        rank
+    }
+
+    /// The number of contiguous rank runs a query rect occupies under a
+    /// cell→rank mapping: enumerate every intersected cell, map, sort,
+    /// count breaks. Caps at `max_cells` enumerated cells (returns
+    /// `None` when the region is bigger).
+    pub fn runs_for_rect(
+        &self,
+        rect: &Rect,
+        rank: impl Fn(&[u32]) -> u64,
+        max_cells: usize,
+    ) -> Option<usize> {
+        assert_eq!(rect.dims(), self.dims());
+        let lo = self.quantize(rect.lo());
+        let hi = self.quantize(rect.hi());
+        let mut total = 1usize;
+        for d in 0..self.dims() {
+            total = total.checked_mul((hi[d] - lo[d] + 1) as usize)?;
+            if total > max_cells {
+                return None;
+            }
+        }
+        let mut ranks = Vec::with_capacity(total);
+        let mut cur = lo.clone();
+        loop {
+            ranks.push(rank(&cur));
+            // Odometer increment.
+            let mut d = 0;
+            loop {
+                if d == self.dims() {
+                    ranks.sort_unstable();
+                    let runs = 1 + ranks.windows(2).filter(|w| w[1] != w[0] + 1).count();
+                    return Some(runs);
+                }
+                if cur[d] < hi[d] {
+                    cur[d] += 1;
+                    break;
+                }
+                cur[d] = lo[d];
+                d += 1;
+            }
+        }
+    }
+}
+
+/// Skilling's AxesToTranspose: in-place conversion of cell coordinates
+/// into the "transposed" Hilbert form.
+fn axes_to_transpose(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    // Inverse undo.
+    let mut q = 1u32 << (bits - 1);
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = 1u32 << (bits - 1);
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Skilling's TransposeToAxes (inverse of [`axes_to_transpose`]).
+fn transpose_to_axes(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    // Gray decode.
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != (1u32 << bits) {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid2(bits: u32) -> HilbertGrid {
+        HilbertGrid::new(Rect::cube(2, 0.0, 1.0), bits)
+    }
+
+    #[test]
+    fn rank_is_a_bijection_2d() {
+        let g = grid2(4); // 16x16 cells, ranks 0..256
+        let mut seen = vec![false; 256];
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let r = g.rank_of_cell(&[x, y]);
+                assert!(r < 256);
+                assert!(!seen[r as usize], "rank {r} repeated at ({x},{y})");
+                seen[r as usize] = true;
+                // Inverse round-trips.
+                assert_eq!(g.cell_of_rank(r), vec![x, y]);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rank_is_a_bijection_3d() {
+        let g = HilbertGrid::new(Rect::cube(3, 0.0, 1.0), 3); // 8^3 = 512
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    let r = g.rank_of_cell(&[x, y, z]);
+                    assert!(r < 512);
+                    assert!(seen.insert(r));
+                    assert_eq!(g.cell_of_rank(r), vec![x, y, z]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_ranks_are_adjacent_cells() {
+        // The defining Hilbert property: rank r and r+1 differ by exactly
+        // one step in exactly one dimension. (Z-order violates this.)
+        let g = grid2(5); // 32x32
+        for r in 0..(32 * 32 - 1) {
+            let a = g.cell_of_rank(r);
+            let b = g.cell_of_rank(r + 1);
+            let diff: u32 = (0..2).map(|d| a[d].abs_diff(b[d])).sum();
+            assert_eq!(diff, 1, "ranks {r},{} are cells {a:?},{b:?}", r + 1);
+        }
+    }
+
+    #[test]
+    fn morton_rank_matches_grid_hash_prefix_order() {
+        // Morton rank here must equal the paper-Algorithm-2 grid's key
+        // order at equal depth (same bisection, same bit interleaving).
+        let g = grid2(3);
+        let kd = crate::grid::Grid::new(Rect::cube(2, 0.0, 1.0), 6);
+        let mut pairs = Vec::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                let center = [
+                    (x as f64 + 0.5) / 8.0,
+                    (y as f64 + 0.5) / 8.0,
+                ];
+                pairs.push((g.morton_rank_of_cell(&[x, y]), kd.hash(&center)));
+            }
+        }
+        let mut by_morton = pairs.clone();
+        by_morton.sort_by_key(|&(m, _)| m);
+        let mut by_grid = pairs;
+        by_grid.sort_by_key(|&(_, k)| k);
+        assert_eq!(by_morton, by_grid, "orderings must agree");
+    }
+
+    #[test]
+    fn quantize_clamps_and_bins() {
+        let g = grid2(2); // 4x4 over [0,1]^2
+        assert_eq!(g.quantize(&[0.0, 0.99]), vec![0, 3]);
+        assert_eq!(g.quantize(&[1.0, -5.0]), vec![3, 0]);
+        assert_eq!(g.quantize(&[0.26, 0.51]), vec![1, 2]);
+        assert_eq!(g.cells_per_dim(), 4);
+    }
+
+    #[test]
+    fn hilbert_has_fewer_runs_than_morton_on_average() {
+        // The headline locality comparison, in miniature.
+        let g = grid2(6); // 64x64
+        let mut h_runs = 0usize;
+        let mut m_runs = 0usize;
+        let mut rng = 0x12345u64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..60 {
+            let cx = next() * 0.8;
+            let cy = next() * 0.8;
+            let w = 0.05 + next() * 0.15;
+            let rect = Rect::new(vec![cx, cy], vec![cx + w, cy + w]);
+            h_runs += g
+                .runs_for_rect(&rect, |c| g.rank_of_cell(c), 100_000)
+                .unwrap();
+            m_runs += g
+                .runs_for_rect(&rect, |c| g.morton_rank_of_cell(c), 100_000)
+                .unwrap();
+        }
+        assert!(
+            h_runs < m_runs,
+            "Hilbert must have better locality: {h_runs} vs {m_runs} runs"
+        );
+    }
+
+    #[test]
+    fn runs_cap_respected() {
+        let g = grid2(10); // 1024x1024
+        let rect = Rect::new(vec![0.0, 0.0], vec![0.9, 0.9]);
+        assert!(g.runs_for_rect(&rect, |c| g.rank_of_cell(c), 1000).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in a 64-bit rank")]
+    fn oversized_resolution_rejected() {
+        let _ = HilbertGrid::new(Rect::cube(3, 0.0, 1.0), 22);
+    }
+}

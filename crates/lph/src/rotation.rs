@@ -1,0 +1,124 @@
+//! Per-index space-mapping rotation (paper §3.4, static load balancing).
+//!
+//! When several index schemes share one Chord ring and their hot regions
+//! fall in similar parts of their index spaces, the same arc of the ring
+//! would absorb every index's hotspot. Giving index `i` a random offset
+//! `φ_i` — derived by hashing the index's name — maps it to the rotated
+//! key space `[φ_i .. φ_i + 2^64 - 1]` (mod 2^64), de-correlating the hot
+//! arcs. A rotation is a bijection that preserves cyclic order, so every
+//! prefix cuboid still occupies one contiguous ring arc and the routing
+//! algorithms work unchanged in *rotated coordinates*.
+
+use crate::prefix::Prefix;
+
+/// A rotation offset `φ` for one index scheme.
+///
+/// ```
+/// use lph::Rotation;
+///
+/// let rot = Rotation::from_name("image-index");
+/// let key = 0x1234_0000_0000_0000u64;
+/// // Ring position and back.
+/// assert_eq!(rot.from_ring(rot.to_ring(key)), key);
+/// // Distinct index names land on distinct arcs.
+/// assert_ne!(rot, Rotation::from_name("document-index"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Rotation(pub u64);
+
+impl Rotation {
+    /// No rotation (single-index deployments, or rotation disabled).
+    pub const IDENTITY: Rotation = Rotation(0);
+
+    /// Derive the offset by hashing the index scheme's name (the paper's
+    /// "random hashing function" on the index name). FNV-1a finished with
+    /// a SplitMix64-style avalanche, so similar names land far apart.
+    pub fn from_name(name: &str) -> Rotation {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // Avalanche.
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rotation(z ^ (z >> 31))
+    }
+
+    /// Map an index-space key to its position on the Chord ring.
+    #[inline]
+    pub fn to_ring(&self, key: u64) -> u64 {
+        key.wrapping_add(self.0)
+    }
+
+    /// Map a ring identifier back into index-space coordinates; this is
+    /// the transform applied to *node ids* so the prefix comparisons of
+    /// Algorithms 3–5 run in the index's own coordinate system.
+    #[inline]
+    pub fn from_ring(&self, ring_id: u64) -> u64 {
+        ring_id.wrapping_sub(self.0)
+    }
+
+    /// The ring arc `[start, end]` (inclusive, may wrap) occupied by a
+    /// prefix cuboid under this rotation.
+    pub fn ring_arc(&self, prefix: Prefix) -> (u64, u64) {
+        let (lo, hi) = prefix.key_range();
+        (self.to_ring(lo), self.to_ring(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let r = Rotation::IDENTITY;
+        assert_eq!(r.to_ring(42), 42);
+        assert_eq!(r.from_ring(42), 42);
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = Rotation(0xDEAD_BEEF_1234_5678);
+        for key in [0u64, 1, u64::MAX, 1 << 63] {
+            assert_eq!(r.from_ring(r.to_ring(key)), key);
+            assert_eq!(r.to_ring(r.from_ring(key)), key);
+        }
+    }
+
+    #[test]
+    fn from_name_is_deterministic_and_spread() {
+        let a = Rotation::from_name("image-index");
+        let b = Rotation::from_name("image-index");
+        assert_eq!(a, b);
+        let c = Rotation::from_name("image-index2");
+        assert_ne!(a, c);
+        // Similar names should differ in roughly half their bits.
+        let diff = (a.0 ^ c.0).count_ones();
+        assert!((16..=48).contains(&diff), "only {diff} bits differ");
+    }
+
+    #[test]
+    fn rotation_preserves_cyclic_order() {
+        let r = Rotation(12345);
+        // Clockwise distance between two keys is invariant under rotation.
+        for (a, b) in [(0u64, 10u64), (u64::MAX - 5, 3), (7, 7)] {
+            let d = b.wrapping_sub(a);
+            let d_rot = r.to_ring(b).wrapping_sub(r.to_ring(a));
+            assert_eq!(d, d_rot);
+        }
+    }
+
+    #[test]
+    fn ring_arc_wraps() {
+        let p: Prefix = "1".parse().unwrap();
+        // Prefix "1" covers [2^63, 2^64-1]; rotating by 2^63 wraps it to
+        // [0 .. 2^63-1]? to_ring adds: start = 2^63 + 2^63 = 0 (wrapped).
+        let r = Rotation(1 << 63);
+        let (s, e) = r.ring_arc(p);
+        assert_eq!(s, 0);
+        assert_eq!(e, (1u64 << 63) - 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the prefix bit machinery itself (complementing the
+//! geometry properties in `props.rs`).
+
+use lph::{Prefix, KEY_BITS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn of_key_produces_a_matching_prefix(key in any::<u64>(), len in 0u32..=KEY_BITS) {
+        let p = Prefix::of_key(key, len);
+        prop_assert_eq!(p.len(), len);
+        prop_assert!(p.contains_key(key));
+        // The prefix's own key also matches.
+        prop_assert!(p.contains_key(p.key()));
+    }
+
+    #[test]
+    fn key_range_is_exactly_the_matching_keys(key in any::<u64>(), len in 0u32..=KEY_BITS) {
+        let p = Prefix::of_key(key, len);
+        let (lo, hi) = p.key_range();
+        prop_assert!(lo <= hi);
+        prop_assert!(p.contains_key(lo));
+        prop_assert!(p.contains_key(hi));
+        if lo > 0 {
+            prop_assert!(!p.contains_key(lo - 1));
+        }
+        if hi < u64::MAX {
+            prop_assert!(!p.contains_key(hi + 1));
+        }
+        // Range size is 2^(64-len).
+        match len {
+            0 => prop_assert_eq!((lo, hi), (0, u64::MAX)),
+            64 => prop_assert_eq!(lo, hi),
+            _ => prop_assert_eq!(hi - lo, u64::MAX >> len),
+        }
+    }
+
+    #[test]
+    fn children_partition_the_parent(key in any::<u64>(), len in 0u32..KEY_BITS) {
+        let p = Prefix::of_key(key, len);
+        let (plo, phi) = p.key_range();
+        let (l0, h0) = p.child(0).key_range();
+        let (l1, h1) = p.child(1).key_range();
+        prop_assert_eq!(l0, plo);
+        prop_assert_eq!(h1, phi);
+        prop_assert_eq!(h0 + 1, l1, "children must tile the parent");
+        prop_assert!(p.contains_prefix(&p.child(0)));
+        prop_assert!(p.contains_prefix(&p.child(1)));
+    }
+
+    #[test]
+    fn bits_reconstruct_the_prefix(key in any::<u64>(), len in 0u32..=KEY_BITS) {
+        let p = Prefix::of_key(key, len);
+        let mut rebuilt = Prefix::ROOT;
+        for b in p.bits() {
+            rebuilt = rebuilt.child(b);
+        }
+        prop_assert_eq!(rebuilt, p);
+    }
+
+    #[test]
+    fn parse_display_round_trip(bits in prop::collection::vec(0u8..2, 0..32)) {
+        let mut p = Prefix::ROOT;
+        for &b in &bits {
+            p = p.child(b);
+        }
+        let s = format!("{p}");
+        if bits.is_empty() {
+            prop_assert_eq!(s, "ε");
+        } else {
+            let q: Prefix = s.parse().unwrap();
+            prop_assert_eq!(q, p);
+        }
+    }
+
+    #[test]
+    fn containment_is_transitive(key in any::<u64>(), a in 0u32..=64, b in 0u32..=64, c in 0u32..=64) {
+        let mut lens = [a, b, c];
+        lens.sort_unstable();
+        let outer = Prefix::of_key(key, lens[0]);
+        let mid = Prefix::of_key(key, lens[1]);
+        let inner = Prefix::of_key(key, lens[2]);
+        prop_assert!(outer.contains_prefix(&mid));
+        prop_assert!(mid.contains_prefix(&inner));
+        prop_assert!(outer.contains_prefix(&inner));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the locality-preserving hashing geometry.
+//! These are the invariants §6 of DESIGN.md promises:
+//!
+//! * hash/cell consistency — a point's key lies in the cuboid of every
+//!   prefix of the key;
+//! * enclosing prefix minimality — the region fits the prefix cuboid but
+//!   not either child (when a deeper division exists);
+//! * split soundness — fragments stay inside the parent region, union
+//!   covers it, prefixes deepen by exactly one bit.
+
+use lph::{Grid, Prefix, Rect, Rotation, SubQuery};
+use proptest::prelude::*;
+
+const DIMS: usize = 3;
+const LO: f64 = 0.0;
+const HI: f64 = 64.0;
+
+fn grid() -> Grid {
+    Grid::new(Rect::cube(DIMS, LO, HI), 12)
+}
+
+fn point_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(LO..HI, DIMS)
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (point_strategy(), point_strategy()).prop_map(|(a, b)| {
+        let lo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.min(*y)).collect();
+        let hi: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.max(*y)).collect();
+        Rect::new(lo, hi)
+    })
+}
+
+proptest! {
+    #[test]
+    fn hash_is_consistent_with_cells(p in point_strategy()) {
+        let g = grid();
+        let key = g.hash(&p);
+        for len in 0..=g.depth() {
+            let prefix = Prefix::of_key(key, len);
+            prop_assert!(g.cell(prefix).contains_point(&p),
+                "key {key:#x} prefix {prefix} cell misses point {p:?}");
+        }
+    }
+
+    #[test]
+    fn nearby_points_share_prefixes(p in point_strategy()) {
+        // Locality: a point and a tiny perturbation share a long prefix
+        // unless they straddle a split plane — but they must always share
+        // the cell they are both inside geometrically.
+        let g = grid();
+        let q: Vec<f64> = p.iter().map(|x| (x + 1e-9).min(HI)).collect();
+        let kp = g.hash(&p);
+        let kq = g.hash(&q);
+        // Both keys' full cells contain their own point.
+        prop_assert!(g.cell(Prefix::of_key(kp, 12)).contains_point(&p));
+        prop_assert!(g.cell(Prefix::of_key(kq, 12)).contains_point(&q));
+    }
+
+    #[test]
+    fn enclosing_prefix_contains_and_is_minimal(r in rect_strategy()) {
+        let g = grid();
+        let p = g.enclosing_prefix(&r);
+        prop_assert!(g.cell(p).contains_rect(&r), "cell of {p} misses {r:?}");
+        if p.len() < g.depth() {
+            // Neither child alone contains the region.
+            let c0 = g.cell(p.child(0));
+            let c1 = g.cell(p.child(1));
+            prop_assert!(!c0.contains_rect(&r) && !c1.contains_rect(&r),
+                "prefix {p} is not minimal for {r:?}");
+        }
+    }
+
+    #[test]
+    fn split_fragments_tile_the_parent(r in rect_strategy()) {
+        let g = grid();
+        let q = SubQuery { rect: r.clone(), prefix: g.enclosing_prefix(&r) };
+        if q.prefix.len() == g.depth() {
+            return Ok(()); // nothing to split
+        }
+        let (a, b) = g.split(&q);
+        prop_assert_eq!(a.prefix.len(), q.prefix.len() + 1);
+        prop_assert!(q.prefix.contains_prefix(&a.prefix));
+        prop_assert!(r.contains_rect(&a.rect));
+        match b {
+            None => prop_assert_eq!(&a.rect, &r),
+            Some(b) => {
+                prop_assert_eq!(b.prefix.len(), q.prefix.len() + 1);
+                prop_assert!(q.prefix.contains_prefix(&b.prefix));
+                prop_assert!(r.contains_rect(&b.rect));
+                // The two fragments share exactly the split plane and
+                // cover the parent: per-dim intervals concatenate.
+                prop_assert!(a.rect.volume() + b.rect.volume() <= r.volume() + 1e-9);
+                // Sample points of r are in at least one fragment.
+                let c = r.center();
+                prop_assert!(a.rect.contains_point(&c) || b.rect.contains_point(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_covers_with_disjoint_prefixes(r in rect_strategy()) {
+        let g = grid();
+        let parts = g.decompose(&r, 8);
+        // Disjoint key ranges.
+        let mut ranges: Vec<(u64, u64)> = parts.iter().map(|q| q.prefix.key_range()).collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 < w[1].0);
+        }
+        // Corners and center of r are covered.
+        let mut probes = vec![r.center()];
+        probes.push(r.lo().to_vec());
+        probes.push(r.hi().to_vec());
+        for p in probes {
+            prop_assert!(parts.iter().any(|q| q.rect.contains_point(&p)));
+        }
+    }
+
+    #[test]
+    fn hash_key_within_rotated_arc(p in point_strategy(), phi in any::<u64>()) {
+        // The rotated ring key of a point stays within the rotated arc of
+        // every prefix of its key.
+        let g = grid();
+        let rot = Rotation(phi);
+        let key = g.hash(&p);
+        for len in [0u32, 3, 7, 12] {
+            let prefix = Prefix::of_key(key, len);
+            let (s, e) = rot.ring_arc(prefix);
+            let ring = rot.to_ring(key);
+            // In cyclic terms: ring - s <= e - s.
+            prop_assert!(ring.wrapping_sub(s) <= e.wrapping_sub(s));
+        }
+    }
+
+    #[test]
+    fn keys_order_matches_first_divergent_dimension(a in point_strategy(), b in point_strategy()) {
+        // Keys are equal iff points share the deepest cell.
+        let g = grid();
+        let ka = g.hash(&a);
+        let kb = g.hash(&b);
+        if ka == kb {
+            let cell = g.cell(Prefix::of_key(ka, g.depth()));
+            prop_assert!(cell.contains_point(&a) && cell.contains_point(&b));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The `d' = d / (1 + d)` bounding adapter.
+//!
+//! Paper §3.1: "unbounded metrics can be adjusted using the formula
+//! `d' = d/(1+d)`". The transform is the standard way to turn any metric
+//! into a topologically equivalent metric bounded by 1: `t(x) = x/(1+x)`
+//! is increasing, subadditive and concave on `[0, ∞)`, which preserves all
+//! four metric axioms.
+
+use crate::space::Metric;
+
+/// Wraps an unbounded metric into one bounded by 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bounded<M> {
+    inner: M,
+}
+
+impl<M> Bounded<M> {
+    /// Wrap `inner`.
+    pub fn new(inner: M) -> Self {
+        Bounded { inner }
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Map a distance from the inner scale to the bounded scale.
+    pub fn transform(d: f64) -> f64 {
+        d / (1.0 + d)
+    }
+
+    /// Map a distance from the bounded scale back to the inner scale.
+    /// Returns `f64::INFINITY` for inputs `>= 1`.
+    pub fn inverse(d: f64) -> f64 {
+        if d >= 1.0 {
+            f64::INFINITY
+        } else {
+            d / (1.0 - d)
+        }
+    }
+}
+
+impl<T: ?Sized, M: Metric<T>> Metric<T> for Bounded<M> {
+    fn distance(&self, a: &T, b: &T) -> f64 {
+        Self::transform(self.inner.distance(a, b))
+    }
+    fn upper_bound(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::EditDistance;
+    use crate::space::check_axioms;
+    use crate::vector::L2;
+
+    #[test]
+    fn transform_properties() {
+        assert_eq!(Bounded::<L2>::transform(0.0), 0.0);
+        assert!((Bounded::<L2>::transform(1.0) - 0.5).abs() < 1e-12);
+        assert!(Bounded::<L2>::transform(1e12) < 1.0);
+        // Monotone.
+        assert!(Bounded::<L2>::transform(2.0) > Bounded::<L2>::transform(1.0));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for d in [0.0, 0.5, 1.0, 7.25, 1000.0] {
+            let t = Bounded::<L2>::transform(d);
+            assert!((Bounded::<L2>::inverse(t) - d).abs() < 1e-9 * (1.0 + d * d));
+        }
+        assert_eq!(Bounded::<L2>::inverse(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn bounded_l2_axioms_and_bound() {
+        let m = Bounded::new(L2::new());
+        assert_eq!(Metric::<[f32]>::upper_bound(&m), Some(1.0));
+        let a = [0.0f32, 0.0];
+        let b = [100.0f32, 0.0];
+        let c = [0.0f32, 7.0];
+        check_axioms(&m, &a[..], &b[..], &c[..], 1e-12).unwrap();
+        assert!(m.distance(&a[..], &b[..]) < 1.0);
+    }
+
+    #[test]
+    fn bounded_edit_distance() {
+        let m = Bounded::new(EditDistance);
+        let d: f64 = Metric::<str>::distance(&m, "kitten", "sitting");
+        assert!((d - 3.0 / 4.0).abs() < 1e-12);
+        check_axioms(&m, "kitten", "sitting", "mitten", 1e-12).unwrap();
+    }
+
+    #[test]
+    fn inner_access() {
+        let m = Bounded::new(L2::new());
+        let _inner: &L2 = m.inner();
+    }
+}

@@ -1,0 +1,146 @@
+//! Levenshtein (edit) distance on byte strings.
+//!
+//! The paper's footnote 2 defines edit distance as the minimum number of
+//! point mutations (change, insert, delete) turning one string into
+//! another; it is the metric behind the DNA/protein and
+//! similar-sentences examples. The implementation is the classic
+//! two-row dynamic program, `O(|a|·|b|)` time and `O(min(|a|,|b|))`
+//! space, with a common-prefix/suffix strip that makes near-duplicate
+//! comparisons (the overwhelming case in similarity search) fast.
+
+use crate::space::Metric;
+
+/// Edit distance metric over `[u8]` (treat strings as bytes; for ASCII
+/// data — DNA, protein, English text — this equals the character-level
+/// distance).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EditDistance;
+
+impl EditDistance {
+    /// Compute the raw edit distance as an integer.
+    pub fn levenshtein(a: &[u8], b: &[u8]) -> usize {
+        // Strip the common prefix and suffix: edits never pay for them.
+        let prefix = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+        let a = &a[prefix..];
+        let b = &b[prefix..];
+        let suffix = a
+            .iter()
+            .rev()
+            .zip(b.iter().rev())
+            .take_while(|(x, y)| x == y)
+            .count();
+        let a = &a[..a.len() - suffix];
+        let b = &b[..b.len() - suffix];
+
+        if a.is_empty() {
+            return b.len();
+        }
+        if b.is_empty() {
+            return a.len();
+        }
+        // Keep the DP row over the shorter string.
+        let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let mut row: Vec<usize> = (0..=short.len()).collect();
+        for (i, lc) in long.iter().enumerate() {
+            let mut diag = row[0]; // row[i][0] of the previous row
+            row[0] = i + 1;
+            for (j, sc) in short.iter().enumerate() {
+                let cost = if lc == sc { 0 } else { 1 };
+                let next = (diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+                diag = row[j + 1];
+                row[j + 1] = next;
+            }
+        }
+        row[short.len()]
+    }
+}
+
+impl Metric<[u8]> for EditDistance {
+    fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+        Self::levenshtein(a, b) as f64
+    }
+}
+
+impl Metric<str> for EditDistance {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        Self::levenshtein(a.as_bytes(), b.as_bytes()) as f64
+    }
+}
+
+impl Metric<Vec<u8>> for EditDistance {
+    fn distance(&self, a: &Vec<u8>, b: &Vec<u8>) -> f64 {
+        Self::levenshtein(a, b) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::check_axioms;
+
+    fn d(a: &str, b: &str) -> usize {
+        EditDistance::levenshtein(a.as_bytes(), b.as_bytes())
+    }
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(d("kitten", "sitting"), 3);
+        assert_eq!(d("flaw", "lawn"), 2);
+        assert_eq!(d("", ""), 0);
+        assert_eq!(d("", "abc"), 3);
+        assert_eq!(d("abc", ""), 3);
+        assert_eq!(d("abc", "abc"), 0);
+        assert_eq!(d("abc", "abd"), 1);
+        assert_eq!(d("saturday", "sunday"), 3);
+    }
+
+    #[test]
+    fn dna_like() {
+        assert_eq!(d("ACGTACGT", "ACGTTCGT"), 1);
+        assert_eq!(d("ACGT", "TGCA"), 4);
+        assert_eq!(d("GATTACA", "GCATGCU"), 4);
+    }
+
+    #[test]
+    fn prefix_suffix_strip_is_transparent() {
+        // Shared affixes must not change the answer.
+        assert_eq!(d("xxxkittenyyy", "xxxsittingyyy"), 3);
+        assert_eq!(d("aaaa", "aaa"), 1);
+        assert_eq!(d("abcdef", "abXdef"), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("kitten", "sitting"), ("ab", "ba"), ("", "xyz")] {
+            assert_eq!(d(a, b), d(b, a));
+        }
+    }
+
+    #[test]
+    fn bounded_by_longer_length() {
+        for (a, b) in [("abcd", "wxyz"), ("a", "bcdefg"), ("hello", "help")] {
+            assert!(d(a, b) <= a.len().max(b.len()));
+            assert!(d(a, b) >= a.len().abs_diff(b.len()));
+        }
+    }
+
+    #[test]
+    fn axioms_on_strings() {
+        let m = EditDistance;
+        check_axioms(&m, "kitten", "sitting", "mitten", 0.0).unwrap();
+        check_axioms(&m, "", "a", "ab", 0.0).unwrap();
+        let v1 = b"ACGT".to_vec();
+        let v2 = b"AGGT".to_vec();
+        let v3 = b"A".to_vec();
+        check_axioms(&m, &v1, &v2, &v3, 0.0).unwrap();
+    }
+
+    #[test]
+    fn str_and_bytes_agree() {
+        let m = EditDistance;
+        assert_eq!(
+            Metric::<str>::distance(&m, "abc", "axc"),
+            Metric::<[u8]>::distance(&m, b"abc", b"axc"),
+        );
+    }
+}

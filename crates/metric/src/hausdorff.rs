@@ -1,0 +1,156 @@
+//! Hausdorff distance between finite 2-D point sets.
+//!
+//! The paper cites Huttenlocher et al.'s Hausdorff matching as the metric
+//! that makes image similarity fit the general model. For non-empty
+//! compact sets it is a true metric: `H(A,B) = max(h(A,B), h(B,A))` where
+//! `h(A,B) = max_{a∈A} min_{b∈B} |a-b|`.
+
+use crate::space::Metric;
+
+/// A finite, non-empty set of 2-D points (e.g. image feature locations).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSet {
+    points: Vec<[f64; 2]>,
+}
+
+impl PointSet {
+    /// Build from points. Panics if empty: the Hausdorff distance to an
+    /// empty set is undefined.
+    pub fn new(points: Vec<[f64; 2]>) -> Self {
+        assert!(!points.is_empty(), "Hausdorff needs non-empty sets");
+        PointSet { points }
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[[f64; 2]] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false (construction forbids empty sets); present to satisfy
+    /// the `len`/`is_empty` API convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The (symmetric) Hausdorff metric under the Euclidean ground distance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hausdorff {
+    bound: Option<f64>,
+}
+
+impl Hausdorff {
+    /// Unbounded Hausdorff metric.
+    pub fn new() -> Self {
+        Hausdorff { bound: None }
+    }
+
+    /// Hausdorff metric for point sets confined to the box
+    /// `[0, w] x [0, h]`; the distance is then bounded by the diagonal.
+    pub fn bounded(w: f64, h: f64) -> Self {
+        assert!(w > 0.0 && h > 0.0);
+        Hausdorff {
+            bound: Some((w * w + h * h).sqrt()),
+        }
+    }
+
+    /// Directed Hausdorff distance `h(a, b)`.
+    pub fn directed(a: &PointSet, b: &PointSet) -> f64 {
+        let mut worst = 0.0f64;
+        for p in a.points() {
+            let mut best = f64::INFINITY;
+            for q in b.points() {
+                let dx = p[0] - q[0];
+                let dy = p[1] - q[1];
+                let d2 = dx * dx + dy * dy;
+                if d2 < best {
+                    best = d2;
+                }
+            }
+            let best = best.sqrt();
+            if best > worst {
+                worst = best;
+                // (no early exit: sets are small in the examples)
+            }
+        }
+        worst
+    }
+}
+
+impl Metric<PointSet> for Hausdorff {
+    fn distance(&self, a: &PointSet, b: &PointSet) -> f64 {
+        Hausdorff::directed(a, b).max(Hausdorff::directed(b, a))
+    }
+    fn upper_bound(&self) -> Option<f64> {
+        self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::check_axioms;
+
+    fn ps(points: &[[f64; 2]]) -> PointSet {
+        PointSet::new(points.to_vec())
+    }
+
+    #[test]
+    fn identical_sets_are_zero() {
+        let a = ps(&[[0.0, 0.0], [1.0, 1.0]]);
+        let m = Hausdorff::new();
+        assert_eq!(m.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn singleton_sets_reduce_to_euclidean() {
+        let a = ps(&[[0.0, 0.0]]);
+        let b = ps(&[[3.0, 4.0]]);
+        assert_eq!(Hausdorff::new().distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn directed_is_asymmetric_but_metric_is_symmetric() {
+        // B contains A plus an outlier; h(A,B)=0 but h(B,A)>0.
+        let a = ps(&[[0.0, 0.0], [1.0, 0.0]]);
+        let b = ps(&[[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]]);
+        assert_eq!(Hausdorff::directed(&a, &b), 0.0);
+        assert_eq!(Hausdorff::directed(&b, &a), 9.0);
+        let m = Hausdorff::new();
+        assert_eq!(m.distance(&a, &b), 9.0);
+        assert_eq!(m.distance(&a, &b), m.distance(&b, &a));
+    }
+
+    #[test]
+    fn translation_shifts_distance() {
+        let a = ps(&[[0.0, 0.0], [1.0, 1.0]]);
+        let b = ps(&[[2.0, 0.0], [3.0, 1.0]]);
+        assert_eq!(Hausdorff::new().distance(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn axioms() {
+        let m = Hausdorff::new();
+        let x = ps(&[[0.0, 0.0], [1.0, 0.5]]);
+        let y = ps(&[[2.0, 1.0]]);
+        let z = ps(&[[0.5, 0.5], [3.0, 3.0], [1.0, 2.0]]);
+        check_axioms(&m, &x, &y, &z, 1e-12).unwrap();
+    }
+
+    #[test]
+    fn bound_is_the_diagonal() {
+        let m = Hausdorff::bounded(3.0, 4.0);
+        assert_eq!(m.upper_bound(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_rejected() {
+        let _ = PointSet::new(vec![]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # metric — generic metric spaces
+//!
+//! The landmark index (paper §2) works over an arbitrary *metric space*
+//! `(D, d)`: any data domain plus a "black box" distance function
+//! satisfying positivity, reflexivity, symmetry and the triangle
+//! inequality. This crate provides the [`Metric`] trait that the rest of
+//! the reproduction programs against, together with every concrete metric
+//! the paper's examples call for:
+//!
+//! * [`vector::L1`], [`vector::L2`], [`vector::Linf`], [`vector::Lp`] —
+//!   dense-vector Minkowski metrics (synthetic workloads, time series,
+//!   vocal patterns);
+//! * [`edit::EditDistance`] — Levenshtein distance on strings (DNA /
+//!   protein sequences, similar sentences);
+//! * [`cosine::Angular`] — the angle between sparse TF/IDF term vectors
+//!   (document retrieval, the paper's TREC experiment);
+//! * [`hausdorff::Hausdorff`] — Hausdorff distance between 2-D point sets
+//!   (image similarity);
+//! * [`bounded::Bounded`] — the paper's `d' = d/(1+d)` adapter that turns
+//!   an unbounded metric into a bounded one (§3.1, "Boundary of index
+//!   space").
+//!
+//! Every metric here is exercised by property-based tests asserting the
+//! metric axioms on sampled triples.
+
+pub mod bounded;
+pub mod cosine;
+pub mod dataset;
+pub mod edit;
+pub mod hausdorff;
+pub mod sets;
+pub mod space;
+pub mod vector;
+
+pub use bounded::Bounded;
+pub use cosine::{Angular, SparseVector};
+pub use dataset::{Dataset, ObjectId};
+pub use edit::EditDistance;
+pub use hausdorff::Hausdorff;
+pub use sets::{Hamming, IdSet, Jaccard};
+pub use space::Metric;
+pub use vector::{Linf, Lp, L1, L2};

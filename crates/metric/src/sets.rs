@@ -1,0 +1,179 @@
+//! Set and code metrics: Jaccard distance over term sets and Hamming
+//! distance over fixed-length codes.
+//!
+//! Both are textbook metric spaces that slot straight into the landmark
+//! platform (the paper's "any type of dataset with a corresponding
+//! 'black box' distance function"): Jaccard covers shingled documents /
+//! tag sets, Hamming covers binary sketches and hash codes.
+
+use crate::space::Metric;
+
+/// A finite set of `u32` elements, stored sorted and deduplicated.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct IdSet {
+    items: Vec<u32>,
+}
+
+impl IdSet {
+    /// Build from arbitrary elements (sorted, deduplicated).
+    pub fn new(mut items: Vec<u32>) -> IdSet {
+        items.sort_unstable();
+        items.dedup();
+        IdSet { items }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sorted elements.
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Size of the intersection with another set (sorted merge).
+    pub fn intersection_len(&self, other: &IdSet) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Jaccard distance `1 - |A ∩ B| / |A ∪ B|`; a metric on finite sets
+/// (bounded by 1). Two empty sets are identical (distance 0).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Jaccard;
+
+impl Metric<IdSet> for Jaccard {
+    fn distance(&self, a: &IdSet, b: &IdSet) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.intersection_len(b);
+        let union = a.len() + b.len() - inter;
+        1.0 - inter as f64 / union as f64
+    }
+    fn upper_bound(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// Hamming distance over equal-length byte codes (count of differing
+/// positions); a metric bounded by the code length.
+#[derive(Clone, Copy, Debug)]
+pub struct Hamming {
+    len: usize,
+}
+
+impl Hamming {
+    /// Metric over codes of exactly `len` bytes.
+    pub fn new(len: usize) -> Hamming {
+        assert!(len >= 1);
+        Hamming { len }
+    }
+}
+
+impl Metric<[u8]> for Hamming {
+    fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+        assert_eq!(a.len(), self.len, "code length mismatch");
+        assert_eq!(b.len(), self.len, "code length mismatch");
+        a.iter().zip(b).filter(|(x, y)| x != y).count() as f64
+    }
+    fn upper_bound(&self) -> Option<f64> {
+        Some(self.len as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::check_axioms;
+
+    fn s(items: &[u32]) -> IdSet {
+        IdSet::new(items.to_vec())
+    }
+
+    #[test]
+    fn idset_normalizes() {
+        let a = s(&[3, 1, 3, 2]);
+        assert_eq!(a.items(), &[1, 2, 3]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(s(&[]).is_empty());
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(s(&[1, 2, 3]).intersection_len(&s(&[2, 3, 4])), 2);
+        assert_eq!(s(&[1]).intersection_len(&s(&[2])), 0);
+        assert_eq!(s(&[]).intersection_len(&s(&[1])), 0);
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let m = Jaccard;
+        assert_eq!(m.distance(&s(&[1, 2]), &s(&[1, 2])), 0.0);
+        assert_eq!(m.distance(&s(&[1, 2]), &s(&[3, 4])), 1.0);
+        assert!((m.distance(&s(&[1, 2, 3]), &s(&[2, 3, 4])) - 0.5).abs() < 1e-12);
+        assert_eq!(m.distance(&s(&[]), &s(&[])), 0.0);
+        assert_eq!(m.distance(&s(&[]), &s(&[1])), 1.0);
+        assert_eq!(m.upper_bound(), Some(1.0));
+    }
+
+    #[test]
+    fn jaccard_axioms() {
+        let m = Jaccard;
+        let sets = [s(&[1, 2, 3]), s(&[2, 3, 4]), s(&[5]), s(&[]), s(&[1, 5])];
+        for x in &sets {
+            for y in &sets {
+                for z in &sets {
+                    check_axioms(&m, x, y, z, 1e-12).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_known_values() {
+        let m = Hamming::new(4);
+        assert_eq!(m.distance(b"ACGT".as_slice(), b"ACGT".as_slice()), 0.0);
+        assert_eq!(m.distance(b"ACGT".as_slice(), b"AGGT".as_slice()), 1.0);
+        assert_eq!(m.distance(b"AAAA".as_slice(), b"TTTT".as_slice()), 4.0);
+        assert_eq!(m.upper_bound(), Some(4.0));
+    }
+
+    #[test]
+    fn hamming_axioms() {
+        let m = Hamming::new(3);
+        let codes: [&[u8]; 4] = [b"abc", b"abd", b"xyz", b"ayc"];
+        for x in codes {
+            for y in codes {
+                for z in codes {
+                    check_axioms(&m, x, y, z, 0.0).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "code length mismatch")]
+    fn hamming_rejects_wrong_length() {
+        let _ = Hamming::new(4).distance(b"abc".as_slice(), b"abcd".as_slice());
+    }
+}

@@ -1,0 +1,243 @@
+//! Minkowski (`L_p`) metrics on dense `f32` vectors.
+//!
+//! The paper's synthetic evaluation (§4.2) uses 100-dimensional Euclidean
+//! data; its motivating examples also include `L1` ("Hamilton distance" in
+//! the paper's terminology) for vocal patterns and time series. All
+//! distances accumulate in `f64` so the 100-dimension sums stay accurate
+//! even for `f32` components.
+
+use crate::space::Metric;
+
+/// Euclidean metric, `d(x,y) = sqrt(sum (x_i-y_i)^2)`.
+///
+/// `bound_per_dim`: when the data domain is a box `[lo, hi]^k`, the metric
+/// is bounded by `sqrt(k) * (hi - lo)`; construct with [`L2::bounded`] to
+/// expose that bound (the paper's synthetic setup bounds each of 100
+/// dimensions by `[0, 100]`, giving the index-space boundary `[0, 1000]`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct L2 {
+    bound: Option<f64>,
+}
+
+impl L2 {
+    /// Unbounded Euclidean metric.
+    pub fn new() -> Self {
+        L2 { bound: None }
+    }
+
+    /// Euclidean metric on the box `[lo, hi]^dims`.
+    pub fn bounded(dims: usize, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo);
+        L2 {
+            bound: Some(((dims as f64).sqrt()) * (hi - lo)),
+        }
+    }
+}
+
+impl Metric<[f32]> for L2 {
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let mut acc = 0.0f64;
+        for (x, y) in a.iter().zip(b) {
+            let d = (*x - *y) as f64;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+    fn upper_bound(&self) -> Option<f64> {
+        self.bound
+    }
+}
+
+/// Manhattan metric, `d(x,y) = sum |x_i-y_i|`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct L1 {
+    bound: Option<f64>,
+}
+
+impl L1 {
+    /// Unbounded L1 metric.
+    pub fn new() -> Self {
+        L1 { bound: None }
+    }
+
+    /// L1 metric on the box `[lo, hi]^dims`.
+    pub fn bounded(dims: usize, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo);
+        L1 {
+            bound: Some(dims as f64 * (hi - lo)),
+        }
+    }
+}
+
+impl Metric<[f32]> for L1 {
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((*x - *y) as f64).abs())
+            .sum()
+    }
+    fn upper_bound(&self) -> Option<f64> {
+        self.bound
+    }
+}
+
+/// Chebyshev metric, `d(x,y) = max |x_i-y_i|`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Linf {
+    bound: Option<f64>,
+}
+
+impl Linf {
+    /// Unbounded L∞ metric.
+    pub fn new() -> Self {
+        Linf { bound: None }
+    }
+
+    /// L∞ metric on the box `[lo, hi]^dims`.
+    pub fn bounded(_dims: usize, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo);
+        Linf {
+            bound: Some(hi - lo),
+        }
+    }
+}
+
+impl Metric<[f32]> for Linf {
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((*x - *y) as f64).abs())
+            .fold(0.0, f64::max)
+    }
+    fn upper_bound(&self) -> Option<f64> {
+        self.bound
+    }
+}
+
+/// General Minkowski metric of order `p >= 1`,
+/// `d(x,y) = (sum |x_i-y_i|^p)^(1/p)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Lp {
+    p: f64,
+    bound: Option<f64>,
+}
+
+impl Lp {
+    /// Unbounded `L_p` metric. Panics if `p < 1` (not a metric below 1).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "L_p is only a metric for p >= 1");
+        Lp { p, bound: None }
+    }
+
+    /// `L_p` metric on the box `[lo, hi]^dims`.
+    pub fn bounded(p: f64, dims: usize, lo: f64, hi: f64) -> Self {
+        assert!(p >= 1.0, "L_p is only a metric for p >= 1");
+        assert!(hi > lo);
+        Lp {
+            p,
+            bound: Some((dims as f64).powf(1.0 / p) * (hi - lo)),
+        }
+    }
+
+    /// The order of this metric.
+    pub fn order(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric<[f32]> for Lp {
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let sum: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| ((*x - *y) as f64).abs().powf(self.p))
+            .sum();
+        sum.powf(1.0 / self.p)
+    }
+    fn upper_bound(&self) -> Option<f64> {
+        self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::check_axioms;
+
+    const A: [f32; 3] = [0.0, 0.0, 0.0];
+    const B: [f32; 3] = [3.0, 4.0, 0.0];
+    const C: [f32; 3] = [1.0, 1.0, 1.0];
+
+    #[test]
+    fn l2_known_values() {
+        let m = L2::new();
+        assert_eq!(m.distance(&A, &B), 5.0);
+        assert_eq!(m.distance(&A, &A), 0.0);
+        assert!((m.distance(&A, &C) - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_known_values() {
+        let m = L1::new();
+        assert_eq!(m.distance(&A, &B), 7.0);
+        assert_eq!(m.distance(&A, &C), 3.0);
+    }
+
+    #[test]
+    fn linf_known_values() {
+        let m = Linf::new();
+        assert_eq!(m.distance(&A, &B), 4.0);
+        assert_eq!(m.distance(&A, &C), 1.0);
+    }
+
+    #[test]
+    fn lp_interpolates() {
+        // p=1 and p=2 must agree with the dedicated implementations.
+        let p1 = Lp::new(1.0);
+        let p2 = Lp::new(2.0);
+        assert!((p1.distance(&A, &B) - 7.0).abs() < 1e-9);
+        assert!((p2.distance(&A, &B) - 5.0).abs() < 1e-9);
+        // L_p is monotonically non-increasing in p.
+        let p3 = Lp::new(3.0);
+        assert!(p3.distance(&A, &B) <= p2.distance(&A, &B));
+        assert_eq!(p3.order(), 3.0);
+    }
+
+    #[test]
+    fn bounded_constructors() {
+        // Paper's synthetic setup: 100 dims in [0,100] → L2 bound 1000.
+        let m = L2::bounded(100, 0.0, 100.0);
+        assert_eq!(m.upper_bound(), Some(1000.0));
+        let m = L1::bounded(100, 0.0, 100.0);
+        assert_eq!(m.upper_bound(), Some(10_000.0));
+        let m = Linf::bounded(100, 0.0, 100.0);
+        assert_eq!(m.upper_bound(), Some(100.0));
+        let m = Lp::bounded(2.0, 100, 0.0, 100.0);
+        assert!((m.upper_bound().unwrap() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axioms_on_fixed_triples() {
+        for m in [&L2::new() as &dyn Metric<[f32]>, &L1::new(), &Linf::new()] {
+            check_axioms(&m, &A[..], &B[..], &C[..], 1e-9).unwrap();
+        }
+        check_axioms(&Lp::new(2.5), &A[..], &B[..], &C[..], 1e-9).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let m = L2::new();
+        let _ = m.distance(&[1.0f32, 2.0][..], &[1.0f32][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only a metric")]
+    fn sub_one_order_rejected() {
+        let _ = Lp::new(0.5);
+    }
+}

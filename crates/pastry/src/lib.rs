@@ -1,0 +1,24 @@
+//! # pastry — a Pastry-style prefix-routing substrate
+//!
+//! The paper (§3): *"Techniques discussed in this paper are also
+//! applicable to other DHTs such as Pastry and Tapestry."* This crate
+//! makes that claim concrete: a second overlay whose routing state is
+//! Pastry's — a **leaf set** of ring neighbors plus a **digit-indexed
+//! routing table** (base `2^4 = 16`: row `l` holds, for each hex digit
+//! `d`, a node sharing the first `l` digits of our identifier with digit
+//! `d` at position `l`, chosen by proximity among the candidates, which
+//! is Pastry's locality heuristic) — while *ownership* keeps the ring
+//! semantics the index layer's Algorithms 3–5 are defined over (a node
+//! owns `(predecessor, me]`; the surrogate of a key is its successor).
+//!
+//! Forwarding is clockwise-monotone: a hop goes to the known node in
+//! `(me, key]` with the longest shared digit prefix with the key (ties:
+//! cyclically closest to the key), so every hop strictly shrinks the
+//! clockwise distance — the same termination argument as Chord — but
+//! covers up to 4 identifier bits per hop instead of Chord's 1–2, which
+//! is where Pastry's `O(log_16 N)` hop count comes from (measured in
+//! `benches/ablation_overlay.rs`).
+
+pub mod table;
+
+pub use table::{build_all_tables, PastryTable, DIGIT_BITS, LEAF_HALF};

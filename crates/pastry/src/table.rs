@@ -1,0 +1,355 @@
+//! Pastry routing state: leaf set + digit table, with ring ownership.
+
+use chord::{ChordId, NodeRef, OracleRing, RouteDecision};
+use simnet::Topology;
+
+/// Bits per routing digit (`b = 4`, hexadecimal digits — Pastry's usual
+/// configuration).
+pub const DIGIT_BITS: u32 = 4;
+
+/// Digits in a 64-bit identifier.
+pub const DIGITS: usize = (64 / DIGIT_BITS) as usize;
+
+/// Entries per leaf-set side (Pastry's `L/2`, with `L = 16`).
+pub const LEAF_HALF: usize = 8;
+
+/// The `i`-th hex digit of `id` (0 = most significant).
+#[inline]
+pub fn digit(id: u64, i: usize) -> usize {
+    debug_assert!(i < DIGITS);
+    ((id >> (64 - DIGIT_BITS as u64 * (i as u64 + 1))) & 0xF) as usize
+}
+
+/// Length of the shared digit prefix of two identifiers (0..=16).
+#[inline]
+pub fn shared_digits(a: u64, b: u64) -> usize {
+    let x = a ^ b;
+    if x == 0 {
+        DIGITS
+    } else {
+        (x.leading_zeros() / DIGIT_BITS) as usize
+    }
+}
+
+/// A node's Pastry state.
+#[derive(Clone, Debug)]
+pub struct PastryTable {
+    me: NodeRef,
+    /// Clockwise-preceding ring neighbors, nearest first (left leaf set).
+    left: Vec<NodeRef>,
+    /// Clockwise-following ring neighbors, nearest first (right leaf set).
+    right: Vec<NodeRef>,
+    /// `rows[l][d]`: a node sharing `l` digits with `me` whose digit `l`
+    /// is `d`. `None` when no such node exists (or it is `me`'s own
+    /// digit).
+    rows: Vec<[Option<NodeRef>; 16]>,
+}
+
+impl PastryTable {
+    /// This node's identity.
+    pub fn me(&self) -> NodeRef {
+        self.me
+    }
+
+    /// The ring predecessor (nearest left leaf).
+    pub fn predecessor(&self) -> Option<NodeRef> {
+        self.left.first().copied()
+    }
+
+    /// The ring successor (nearest right leaf).
+    pub fn successor(&self) -> Option<NodeRef> {
+        self.right.first().copied()
+    }
+
+    /// Routing-table entry at `(row, digit)`.
+    pub fn row_entry(&self, row: usize, d: usize) -> Option<NodeRef> {
+        self.rows[row][d]
+    }
+
+    /// Every distinct node this table knows (leaf sets + routing rows).
+    pub fn known_nodes(&self) -> Vec<NodeRef> {
+        let mut all: Vec<NodeRef> = self
+            .left
+            .iter()
+            .chain(self.right.iter())
+            .copied()
+            .chain(self.rows.iter().flatten().flatten().copied())
+            .collect();
+        all.sort_unstable_by_key(|n| n.id);
+        all.dedup_by_key(|n| n.id);
+        all
+    }
+
+    /// True when this node owns `key` (`key ∈ (predecessor, me]` — the
+    /// ring semantics the index layer requires).
+    pub fn owns(&self, key: ChordId) -> bool {
+        match self.predecessor() {
+            Some(p) => key.in_half_open(p.id, self.me.id),
+            None => true,
+        }
+    }
+
+    /// Route toward `key` with Chord-compatible semantics: deliver
+    /// locally when owned, hand to the successor when it owns the key,
+    /// otherwise forward to the known node in `(me, key)` with the
+    /// longest shared digit prefix with the key (cyclically closest on
+    /// ties). Clockwise-monotone, hence loop-free.
+    pub fn route(&self, key: ChordId) -> RouteDecision {
+        if self.owns(key) {
+            return RouteDecision::Local;
+        }
+        if let Some(succ) = self.successor() {
+            if key.in_half_open(self.me.id, succ.id) {
+                return RouteDecision::Surrogate(succ);
+            }
+        } else {
+            return RouteDecision::Local; // lone node
+        }
+        let mut best: Option<(usize, u64, NodeRef)> = None;
+        for n in self
+            .left
+            .iter()
+            .chain(self.right.iter())
+            .copied()
+            .chain(self.rows.iter().flatten().flatten().copied())
+        {
+            if !n.id.in_open(self.me.id, key) {
+                continue; // only clockwise progress keeps routing loop-free
+            }
+            let pfx = shared_digits(n.id.0, key.0);
+            let dist = n.id.cw_dist(key);
+            let better = match best {
+                None => true,
+                Some((bp, bd, _)) => pfx > bp || (pfx == bp && dist < bd),
+            };
+            if better {
+                best = Some((pfx, dist, n));
+            }
+        }
+        match best {
+            Some((_, _, n)) => RouteDecision::Forward(n),
+            // The successor is always in (me, key) here, so this arm is
+            // unreachable with a non-empty leaf set; keep it total.
+            None => RouteDecision::Surrogate(self.successor().expect("non-empty leaf set")),
+        }
+    }
+}
+
+/// Build the converged Pastry state for the node at sorted ring position
+/// `i`. `topo` enables Pastry's proximity heuristic: each routing-table
+/// slot picks the lowest-RTT node among the first `prox_candidates`
+/// valid candidates.
+pub fn build_table(
+    ring: &OracleRing,
+    i: usize,
+    leaf_half: usize,
+    topo: Option<&Topology>,
+    prox_candidates: usize,
+) -> PastryTable {
+    let nodes = ring.nodes();
+    let n = nodes.len();
+    let me = nodes[i];
+    let left = (1..=leaf_half.min(n - 1))
+        .map(|s| nodes[(i + n - s) % n])
+        .collect();
+    let right = (1..=leaf_half.min(n - 1))
+        .map(|s| nodes[(i + s) % n])
+        .collect();
+
+    // Bucket every other node by (shared prefix with me, next digit).
+    let mut rows: Vec<[Option<NodeRef>; 16]> = vec![[None; 16]; DIGITS];
+    let mut best_rtt: Vec<[Option<simnet::SimDuration>; 16]> = vec![[None; 16]; DIGITS];
+    let mut seen: Vec<[usize; 16]> = vec![[0; 16]; DIGITS];
+    for other in nodes {
+        if other.id == me.id {
+            continue;
+        }
+        let l = shared_digits(me.id.0, other.id.0);
+        if l >= DIGITS {
+            continue;
+        }
+        let d = digit(other.id.0, l);
+        debug_assert_ne!(d, digit(me.id.0, l));
+        match topo {
+            None => {
+                // First candidate wins (deterministic: ring order).
+                if rows[l][d].is_none() {
+                    rows[l][d] = Some(*other);
+                }
+            }
+            Some(topo) => {
+                if seen[l][d] >= prox_candidates {
+                    continue;
+                }
+                seen[l][d] += 1;
+                let rtt = topo.rtt(me.addr.0, other.addr.0);
+                if best_rtt[l][d].is_none_or(|b| rtt < b) {
+                    best_rtt[l][d] = Some(rtt);
+                    rows[l][d] = Some(*other);
+                }
+            }
+        }
+    }
+    PastryTable {
+        me,
+        left,
+        right,
+        rows,
+    }
+}
+
+/// Converged tables for every node, indexed by agent address.
+pub fn build_all_tables(
+    ring: &OracleRing,
+    leaf_half: usize,
+    topo: Option<&Topology>,
+    prox_candidates: usize,
+) -> Vec<PastryTable> {
+    let mut by_addr: Vec<Option<PastryTable>> = vec![None; ring.len()];
+    for i in 0..ring.len() {
+        let t = build_table(ring, i, leaf_half, topo, prox_candidates);
+        let addr = t.me().addr.0;
+        by_addr[addr] = Some(t);
+    }
+    by_addr.into_iter().map(|t| t.expect("addr gap")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimRng;
+
+    #[test]
+    fn digit_extraction() {
+        let id = 0x1234_5678_9ABC_DEF0u64;
+        assert_eq!(digit(id, 0), 0x1);
+        assert_eq!(digit(id, 1), 0x2);
+        assert_eq!(digit(id, 15), 0x0);
+        assert_eq!(digit(id, 14), 0xF);
+    }
+
+    #[test]
+    fn shared_digit_counts() {
+        assert_eq!(shared_digits(0, 0), DIGITS);
+        assert_eq!(shared_digits(0x1234 << 48, 0x1235 << 48), 3);
+        assert_eq!(shared_digits(0x1234 << 48, 0x2234 << 48), 0);
+        assert_eq!(shared_digits(1, 0), 15);
+    }
+
+    fn world(n: usize, seed: u64) -> (OracleRing, Vec<PastryTable>) {
+        let mut rng = SimRng::new(seed);
+        let ring = OracleRing::with_random_ids(n, &mut rng);
+        let tables = build_all_tables(&ring, LEAF_HALF, None, 16);
+        (ring, tables)
+    }
+
+    #[test]
+    fn leaf_sets_are_ring_neighbors() {
+        let (ring, tables) = world(40, 1);
+        for (i, node) in ring.nodes().iter().enumerate() {
+            let t = &tables[node.addr.0];
+            assert_eq!(t.predecessor().unwrap(), ring.prev_of(i));
+            assert_eq!(t.successor().unwrap(), ring.next_of(i));
+            assert_eq!(t.known_nodes().iter().filter(|n| n.id == node.id).count(), 0);
+        }
+    }
+
+    #[test]
+    fn routing_rows_hold_correct_prefixes() {
+        let (ring, tables) = world(64, 2);
+        for node in ring.nodes() {
+            let t = &tables[node.addr.0];
+            for l in 0..DIGITS {
+                for d in 0..16 {
+                    if let Some(e) = t.row_entry(l, d) {
+                        assert_eq!(shared_digits(node.id.0, e.id.0), l, "row {l} digit {d}");
+                        assert_eq!(digit(e.id.0, l), d);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner_with_few_hops() {
+        let (ring, tables) = world(256, 3);
+        let mut rng = SimRng::new(9);
+        let mut total_hops = 0u32;
+        for _ in 0..200 {
+            use rand::RngCore;
+            let key = ChordId(rng.next_u64());
+            let mut cur = &tables[rng.index(256)];
+            let mut hops = 0;
+            let owner = loop {
+                match cur.route(key) {
+                    RouteDecision::Local => break cur.me(),
+                    RouteDecision::Surrogate(s) => {
+                        hops += 1;
+                        break s;
+                    }
+                    RouteDecision::Forward(next) => {
+                        hops += 1;
+                        assert!(hops < 64, "loop routing {key:?}");
+                        cur = &tables[next.addr.0];
+                    }
+                }
+            };
+            assert_eq!(owner, ring.owner_of(key));
+            total_hops += hops;
+        }
+        // Digit routing: ~log16(256) = 2 prefix hops + leaf hops; far
+        // under Chord's ~half log2(256) = 4+.
+        let mean = total_hops as f64 / 200.0;
+        assert!(mean < 4.0, "mean hops {mean}");
+    }
+
+    #[test]
+    fn proximity_rows_prefer_low_rtt() {
+        let n = 128;
+        let mut rng = SimRng::new(5);
+        let ring = OracleRing::with_random_ids(n, &mut rng);
+        let topo = Topology::king_like(n, 6, 180.0);
+        let plain = build_all_tables(&ring, LEAF_HALF, None, 16);
+        let prox = build_all_tables(&ring, LEAF_HALF, Some(&topo), 16);
+        let mut plain_sum = 0u128;
+        let mut prox_sum = 0u128;
+        for node in ring.nodes() {
+            let (tp, tq) = (&plain[node.addr.0], &prox[node.addr.0]);
+            for l in 0..DIGITS {
+                for d in 0..16 {
+                    if let (Some(a), Some(b)) = (tp.row_entry(l, d), tq.row_entry(l, d)) {
+                        plain_sum += topo.rtt(node.addr.0, a.addr.0).0 as u128;
+                        prox_sum += topo.rtt(node.addr.0, b.addr.0).0 as u128;
+                    }
+                }
+            }
+        }
+        assert!(
+            prox_sum < plain_sum,
+            "proximity rows should cut RTT: {prox_sum} vs {plain_sum}"
+        );
+    }
+
+    #[test]
+    fn ownership_matches_ring() {
+        let (ring, tables) = world(32, 7);
+        let mut rng = SimRng::new(11);
+        for _ in 0..200 {
+            use rand::RngCore;
+            let key = ChordId(rng.next_u64());
+            let owner = ring.owner_of(key);
+            for node in ring.nodes() {
+                let t = &tables[node.addr.0];
+                assert_eq!(t.owns(key), node.id == owner.id, "key {key:?} node {node:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_world() {
+        let ring = OracleRing::new(vec![NodeRef::new(42, 0)]);
+        let t = build_table(&ring, 0, LEAF_HALF, None, 16);
+        assert!(t.predecessor().is_none());
+        assert_eq!(t.route(ChordId(7)), RouteDecision::Local);
+    }
+}

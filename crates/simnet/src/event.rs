@@ -1,0 +1,158 @@
+//! The event queue.
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing sequence number assigned at scheduling time. The sequence
+//! tie-break makes simultaneous events fire in scheduling order, which is
+//! what keeps the whole simulation deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::sim::AgentId;
+use crate::time::SimTime;
+
+/// An opaque tag an agent attaches to a timer so it can tell its timers
+/// apart when they fire.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerTag(pub u64);
+
+/// What happens when an event fires.
+pub(crate) enum EventKind<M> {
+    /// Deliver a message to `dst` that was sent by `from`.
+    Deliver { from: AgentId, msg: M },
+    /// Fire a timer previously scheduled by the destination agent.
+    Timer { tag: TimerTag },
+}
+
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub dst: AgentId,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic priority queue of simulation events.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, dst: AgentId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            dst,
+            kind,
+        });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+impl<M> EventQueue<M> {
+    /// Test helper: push a timer event with a default tag.
+    fn push_marker(&mut self, time: SimTime, dst: AgentId) {
+        self.push(time, dst, EventKind::Timer { tag: TimerTag(0) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_order(q: &mut EventQueue<u32>) -> Vec<(u64, u64)> {
+        let mut out = vec![];
+        while let Some(e) = q.pop() {
+            out.push((e.time.0, e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), AgentId(0), EventKind::Timer { tag: TimerTag(0) });
+        q.push(SimTime(10), AgentId(0), EventKind::Timer { tag: TimerTag(1) });
+        q.push(SimTime(20), AgentId(0), EventKind::Timer { tag: TimerTag(2) });
+        let order = drain_order(&mut q);
+        assert_eq!(
+            order.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        for _ in 0..5 {
+            q.push_marker(SimTime(7), AgentId(0));
+        }
+        let order = drain_order(&mut q);
+        assert_eq!(
+            order.iter().map(|&(_, s)| s).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push_marker(SimTime(42), AgentId(1));
+        q.push_marker(SimTime(41), AgentId(2));
+        assert_eq!(q.peek_time(), Some(SimTime(41)));
+        assert_eq!(q.len(), 2);
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, SimTime(41));
+        assert_eq!(e.dst, AgentId(2));
+        assert!(!q.is_empty());
+    }
+}

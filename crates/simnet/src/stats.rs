@@ -1,0 +1,58 @@
+//! Network-wide accounting.
+//!
+//! The simulator counts every message and byte that crosses the (simulated)
+//! wire. Experiments layer their own per-query attribution on top; these
+//! totals are the ground truth they must reconcile with.
+
+/// Aggregate counters over an entire simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network layer.
+    pub messages: u64,
+    /// Sum of the declared sizes of those messages, in bytes.
+    pub bytes: u64,
+    /// Timer events fired.
+    pub timers: u64,
+    /// Events processed in total (messages + timers + starts).
+    pub events: u64,
+    /// Cross-host messages dropped by the loss model.
+    pub dropped: u64,
+}
+
+impl NetStats {
+    /// Record one message of `bytes` bytes.
+    #[inline]
+    pub(crate) fn on_send(&mut self, bytes: u32) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Mean message size in bytes, or 0 when no messages were sent.
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut s = NetStats::default();
+        s.on_send(100);
+        s.on_send(50);
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 150);
+        assert_eq!(s.mean_message_bytes(), 75.0);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(NetStats::default().mean_message_bytes(), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Wide-area latency model.
+//!
+//! The paper draws pairwise latencies from the **King dataset** — measured
+//! round-trip times between 1740 DNS servers, with an average RTT of
+//! 180 ms. That dataset is not redistributable here, so
+//! [`Topology::king_like`] synthesizes a matrix with the same gross
+//! statistics: hosts are embedded in a low-dimensional Euclidean space
+//! (geography), per-pair lognormal jitter roughens the embedding (routing
+//! inefficiency / access links), and the whole matrix is rescaled so the
+//! mean RTT matches a target (180 ms by default). The result keeps the
+//! properties the experiments actually exploit: rough triangle-inequality
+//! geography for proximity neighbor selection, and a realistic RTT scale
+//! and spread for latency metrics.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Default mean round-trip time, matching the paper's reported King average.
+pub const DEFAULT_MEAN_RTT_MS: f64 = 180.0;
+
+/// A symmetric pairwise round-trip-time matrix over `n` hosts.
+#[derive(Clone)]
+pub struct Topology {
+    n: usize,
+    /// Flattened `n * n` RTTs in nanoseconds; diagonal is zero.
+    rtt_ns: Box<[u64]>,
+}
+
+impl Topology {
+    /// A matrix where every distinct pair has the same RTT. Useful for
+    /// unit tests where latency variation would be noise.
+    pub fn uniform(n: usize, rtt: crate::time::SimTime) -> Topology {
+        let mut rtt_ns = vec![0u64; n * n].into_boxed_slice();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    rtt_ns[i * n + j] = rtt.0;
+                }
+            }
+        }
+        Topology { n, rtt_ns }
+    }
+
+    /// Synthesize a King-like matrix (see module docs).
+    ///
+    /// * `n` — number of hosts.
+    /// * `seed` — generation is fully deterministic in this seed.
+    /// * `mean_rtt_ms` — target mean RTT over distinct pairs.
+    pub fn king_like(n: usize, seed: u64, mean_rtt_ms: f64) -> Topology {
+        assert!(n >= 1, "a topology needs at least one host");
+        assert!(mean_rtt_ms > 0.0);
+        if n == 1 {
+            // Degenerate single-host world: no pairs to model.
+            return Topology {
+                n,
+                rtt_ns: vec![0u64; 1].into_boxed_slice(),
+            };
+        }
+        let mut rng = SimRng::new(seed).fork(0x7090);
+
+        // 5-D embedding: enough dimensions that pairwise distances have a
+        // realistic unimodal spread rather than the degenerate shape a 1-D
+        // or 2-D embedding would give at this scale.
+        const DIMS: usize = 5;
+        let coords: Vec<[f64; DIMS]> = (0..n)
+            .map(|_| {
+                let mut c = [0.0; DIMS];
+                for v in &mut c {
+                    *v = rng.f64();
+                }
+                c
+            })
+            .collect();
+
+        // Raw latencies: base propagation from the embedding plus a small
+        // constant floor (last-mile) and multiplicative lognormal jitter.
+        let mut raw = vec![0.0f64; n * n];
+        let mut sum = 0.0f64;
+        let mut pairs = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut d2 = 0.0;
+                for (a, b) in coords[i].iter().zip(&coords[j]) {
+                    let d = a - b;
+                    d2 += d * d;
+                }
+                let base = d2.sqrt();
+                // Lognormal(mu=0, sigma=0.45): median 1.0x, long right tail.
+                let z = normal_sample(&mut rng);
+                let jitter = (0.45 * z).exp();
+                let lat = (0.08 + base) * jitter;
+                raw[i * n + j] = lat;
+                raw[j * n + i] = lat;
+                sum += lat;
+                pairs += 1;
+            }
+        }
+
+        // Rescale to the requested mean.
+        let scale = mean_rtt_ms / (sum / pairs as f64);
+        let mut rtt_ns = vec![0u64; n * n].into_boxed_slice();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let ms = raw[i * n + j] * scale;
+                    rtt_ns[i * n + j] = (ms * 1e6).round() as u64;
+                }
+            }
+        }
+        Topology { n, rtt_ns }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the topology has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Round-trip time between hosts `a` and `b`.
+    #[inline]
+    pub fn rtt(&self, a: usize, b: usize) -> SimDuration {
+        SimDuration(self.rtt_ns[a * self.n + b])
+    }
+
+    /// One-way propagation delay, i.e. half the RTT.
+    #[inline]
+    pub fn one_way(&self, a: usize, b: usize) -> SimDuration {
+        SimDuration(self.rtt_ns[a * self.n + b] / 2)
+    }
+
+    /// Mean RTT over all distinct ordered pairs, in milliseconds.
+    pub fn mean_rtt_ms(&self) -> f64 {
+        let mut sum = 0u128;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    sum += self.rtt_ns[i * self.n + j] as u128;
+                }
+            }
+        }
+        let pairs = (self.n * (self.n - 1)) as f64;
+        sum as f64 / pairs / 1e6
+    }
+
+    /// The given percentile (0–100) of distinct-pair RTTs, in milliseconds.
+    pub fn percentile_rtt_ms(&self, pct: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&pct));
+        let mut all: Vec<u64> = Vec::with_capacity(self.n * (self.n - 1) / 2);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                all.push(self.rtt_ns[i * self.n + j]);
+            }
+        }
+        all.sort_unstable();
+        if all.is_empty() {
+            return 0.0;
+        }
+        let idx = ((pct / 100.0) * (all.len() - 1) as f64).round() as usize;
+        all[idx] as f64 / 1e6
+    }
+}
+
+/// Standard normal via Box–Muller (polar form avoided to keep the draw
+/// count per sample fixed, which preserves stream stability).
+fn normal_sample(rng: &mut SimRng) -> f64 {
+    let u1 = 1.0 - rng.f64(); // (0, 1]
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn uniform_matrix() {
+        let t = Topology::uniform(4, SimTime::from_millis(100));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.rtt(0, 0), SimDuration::ZERO);
+        assert_eq!(t.rtt(1, 3), SimDuration::from_millis(100));
+        assert_eq!(t.one_way(1, 3), SimDuration::from_millis(50));
+        assert!((t.mean_rtt_ms() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn king_like_hits_target_mean() {
+        let t = Topology::king_like(200, 42, DEFAULT_MEAN_RTT_MS);
+        let mean = t.mean_rtt_ms();
+        assert!(
+            (mean - DEFAULT_MEAN_RTT_MS).abs() < 1.0,
+            "mean RTT {mean} not within 1ms of target"
+        );
+    }
+
+    #[test]
+    fn king_like_is_symmetric_with_zero_diagonal() {
+        let t = Topology::king_like(64, 7, 180.0);
+        for i in 0..64 {
+            assert_eq!(t.rtt(i, i), SimDuration::ZERO);
+            for j in 0..64 {
+                assert_eq!(t.rtt(i, j), t.rtt(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn king_like_deterministic_in_seed() {
+        let a = Topology::king_like(32, 99, 180.0);
+        let b = Topology::king_like(32, 99, 180.0);
+        for i in 0..32 {
+            for j in 0..32 {
+                assert_eq!(a.rtt(i, j), b.rtt(i, j));
+            }
+        }
+        let c = Topology::king_like(32, 100, 180.0);
+        let diffs = (0..32)
+            .flat_map(|i| (0..32).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j && a.rtt(i, j) != c.rtt(i, j))
+            .count();
+        assert!(diffs > 900, "different seeds should give different matrices");
+    }
+
+    #[test]
+    fn king_like_has_dispersion() {
+        let t = Topology::king_like(200, 42, 180.0);
+        let p5 = t.percentile_rtt_ms(5.0);
+        let p95 = t.percentile_rtt_ms(95.0);
+        // King latencies spread over roughly an order of magnitude.
+        assert!(p5 < 100.0, "p5 was {p5}");
+        assert!(p95 > 280.0, "p95 was {p95}");
+        assert!(t.percentile_rtt_ms(100.0) > p95);
+        assert!(t.percentile_rtt_ms(0.0) < p5);
+    }
+
+    #[test]
+    fn king_like_positive_off_diagonal() {
+        let t = Topology::king_like(50, 3, 180.0);
+        for i in 0..50 {
+            for j in 0..50 {
+                if i != j {
+                    assert!(t.rtt(i, j).0 > 0);
+                }
+            }
+        }
+    }
+}

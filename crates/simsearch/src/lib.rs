@@ -1,0 +1,55 @@
+//! # simsearch — the landmark-based distributed similarity index
+//!
+//! This crate is the paper's primary contribution: a distributed index
+//! platform on Chord that answers near-neighbor queries in arbitrary
+//! metric spaces. The pieces:
+//!
+//! * [`msg`] — wire messages and the paper's explicit byte-size model
+//!   (query message `20 + 4 + n·(4k + 9)` bytes, result message
+//!   `20 + 6·entries`);
+//! * [`store`] — per-node index-entry storage, keyed by ring position;
+//! * [`routing`] — Algorithms 3 (QueryRouting), 4 (QuerySplit) and 5
+//!   (SurrogateRefine) as pure functions over a routing table, unit- and
+//!   property-tested against a brute-force coverage oracle;
+//! * [`node`] — the network agent tying routing to [`simnet`] delivery,
+//!   with per-query cost accounting;
+//! * [`load`] — load balancing: the static space-mapping rotation is in
+//!   [`lph::Rotation`]; this module adds the paper's *dynamic load
+//!   migration* (probe level `P_l`, threshold factor `δ`, leave-and-
+//!   rejoin at the split point);
+//! * [`system`] — the experiment driver: build a stabilized ring,
+//!   publish entries, optionally balance load, inject a query workload,
+//!   run the simulation, and fold per-query metrics (hops, response
+//!   time, maximum latency, bandwidth, recall — §4.1's metric set);
+//! * [`stats`] — result aggregation helpers (percentiles, series).
+//!
+//! The crate is deliberately independent of any particular metric: the
+//! caller maps objects and queries into index-space points (see
+//! [`landmark`]) and supplies a [`msg::QueryDistance`] oracle so index
+//! nodes can rank their local candidates by true distance, mirroring a
+//! deployment where index entries carry enough of the object to evaluate
+//! the black-box distance.
+
+pub mod explain;
+pub mod knn;
+pub mod load;
+pub mod msg;
+pub mod node;
+pub mod overlay;
+pub mod refresh;
+pub mod routing;
+pub mod stats;
+pub mod store;
+pub mod system;
+
+pub use explain::{ExplainReport, ExplainStep, StepKind};
+pub use knn::KnnOutcome;
+pub use msg::{QueryDistance, QueryId, SearchMsg, SubQueryMsg};
+pub use node::SearchNode;
+pub use overlay::{Overlay, OverlayKind, OverlayTable};
+pub use refresh::ReindexReport;
+pub use routing::{route_subquery, surrogate_refine, Action};
+pub use store::{Entry, Store};
+pub use system::{
+    IndexSpec, LoadBalanceConfig, QueryOutcome, QuerySpec, SearchSystem, SystemConfig,
+};

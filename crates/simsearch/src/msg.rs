@@ -1,0 +1,160 @@
+//! Wire messages and the paper's byte-size model (§4.1).
+
+use std::sync::Arc;
+
+use lph::{Prefix, Rect};
+use metric::ObjectId;
+use simnet::AgentId;
+
+/// Dense query identifier within one experiment run.
+pub type QueryId = u32;
+
+/// On-demand true-distance evaluation between a query and an object.
+///
+/// Index nodes rank their matching local entries by real distance before
+/// replying (the paper's refinement step); the driver implements this
+/// over the actual dataset and metric.
+pub trait QueryDistance: Send + Sync {
+    /// `d(query_qid, object)` in the original metric space.
+    fn distance(&self, qid: QueryId, obj: ObjectId) -> f64;
+}
+
+/// Blanket impl for closures.
+impl<F: Fn(QueryId, ObjectId) -> f64 + Send + Sync> QueryDistance for F {
+    fn distance(&self, qid: QueryId, obj: ObjectId) -> f64 {
+        self(qid, obj)
+    }
+}
+
+/// Shared oracle handle.
+pub type DistanceOracle = Arc<dyn QueryDistance>;
+
+/// A query fragment in flight.
+#[derive(Clone, Debug)]
+pub struct SubQueryMsg {
+    /// Which query this fragment belongs to.
+    pub qid: QueryId,
+    /// Which co-hosted index scheme it targets.
+    pub index: u8,
+    /// Remaining search region.
+    pub rect: Rect,
+    /// Current `prefix_key`/`prefix_length`.
+    pub prefix: Prefix,
+    /// Overlay hops taken so far.
+    pub hops: u32,
+    /// Where results go.
+    pub origin: AgentId,
+}
+
+/// Messages of the index layer.
+#[derive(Clone, Debug)]
+pub enum SearchMsg {
+    /// Algorithm 3 traffic: one or more subqueries that share a next hop
+    /// (batched into one wire message, which is what the paper's
+    /// `n`-subquery size formula models).
+    Route(Vec<SubQueryMsg>),
+    /// Algorithm 5 hand-off to the surrogate (owner) node.
+    Refine(SubQueryMsg),
+    /// An index node's local answer, sent straight back to the origin.
+    Results {
+        /// The answered query.
+        qid: QueryId,
+        /// Hops the *query* took to reach the answering node.
+        hops: u32,
+        /// `(object, true distance)` — the node's `k` nearest matching
+        /// local entries.
+        entries: Vec<(ObjectId, f64)>,
+    },
+    /// Control: injected at the querying node to start a query. Carries
+    /// the initial subquery (rect clipped, prefix computed by the
+    /// driver). Zero wire cost (it *is* the querying node).
+    Issue(SubQueryMsg),
+    /// Publish one index entry: routed greedily toward the entry's ring
+    /// key and stored at the owner (runtime insertion, §6 "dynamic
+    /// datasets"). Modelled as a fixed-size record: header + key +
+    /// object id + one coordinate pair per landmark.
+    Publish {
+        /// Target index scheme.
+        index: u8,
+        /// The entry to store.
+        entry: crate::store::Entry,
+        /// Hops taken so far.
+        hops: u32,
+    },
+}
+
+/// The paper's query-message size model:
+/// `20 (header) + 4 (source IP) + n · (2·2·k + 8 + 1)` bytes for `n`
+/// subqueries over a `k`-landmark index.
+pub fn query_msg_bytes(n_subqueries: usize, k_landmarks: usize) -> u32 {
+    20 + 4 + (n_subqueries as u32) * (4 * k_landmarks as u32 + 8 + 1)
+}
+
+/// The paper's result-message size model: `20 + 6 · entries` bytes.
+pub fn result_msg_bytes(n_entries: usize) -> u32 {
+    20 + 6 * n_entries as u32
+}
+
+/// Wire size of a message given the index dimensionality lookup.
+pub fn msg_bytes(msg: &SearchMsg, k_of_index: impl Fn(u8) -> usize) -> u32 {
+    match msg {
+        SearchMsg::Route(subs) => {
+            let k = subs.first().map(|s| k_of_index(s.index)).unwrap_or(0);
+            query_msg_bytes(subs.len(), k)
+        }
+        SearchMsg::Refine(sq) => query_msg_bytes(1, k_of_index(sq.index)),
+        SearchMsg::Results { entries, .. } => result_msg_bytes(entries.len()),
+        SearchMsg::Issue(_) => 0,
+        SearchMsg::Publish { entry, .. } => 20 + 8 + 4 + 8 * entry.point.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_size_formulas() {
+        // 10 landmarks, 1 subquery: 24 + (40 + 9) = 73.
+        assert_eq!(query_msg_bytes(1, 10), 73);
+        // 3 subqueries, 5 landmarks: 24 + 3·29 = 111.
+        assert_eq!(query_msg_bytes(3, 5), 111);
+        assert_eq!(result_msg_bytes(0), 20);
+        assert_eq!(result_msg_bytes(10), 80);
+    }
+
+    #[test]
+    fn msg_bytes_dispatch() {
+        let sq = SubQueryMsg {
+            qid: 0,
+            index: 0,
+            rect: Rect::cube(10, 0.0, 1.0),
+            prefix: Prefix::ROOT,
+            hops: 0,
+            origin: AgentId(0),
+        };
+        let k = |_: u8| 10usize;
+        assert_eq!(msg_bytes(&SearchMsg::Route(vec![sq.clone(), sq.clone()]), k), 24 + 2 * 49);
+        assert_eq!(msg_bytes(&SearchMsg::Refine(sq.clone()), k), 73);
+        assert_eq!(
+            msg_bytes(
+                &SearchMsg::Results {
+                    qid: 0,
+                    hops: 3,
+                    entries: vec![(ObjectId(1), 0.5); 4],
+                },
+                k
+            ),
+            44
+        );
+        assert_eq!(msg_bytes(&SearchMsg::Issue(sq), k), 0);
+    }
+
+    #[test]
+    fn closure_oracle() {
+        let oracle: DistanceOracle = Arc::new(|qid: QueryId, obj: ObjectId| {
+            (qid as f64) + (obj.0 as f64) * 0.1
+        });
+        assert_eq!(oracle.distance(2, ObjectId(5)), 2.5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Overlay abstraction: the index layer (Algorithms 3–5) needs exactly
+//! two things from its DHT — *next-hop routing toward a key* and *ring
+//! ownership arcs* — which is why the paper can claim its techniques
+//! "are also applicable to other DHTs such as Pastry and Tapestry".
+//! This module captures that interface and provides both substrates:
+//! Chord (finger tables, the paper's evaluation platform) and Pastry
+//! (digit-prefix routing tables + leaf sets).
+
+use chord::{ChordId, NodeRef, RouteDecision, RoutingTable};
+use pastry::PastryTable;
+
+/// The routing interface the index layer programs against.
+pub trait OverlayTable {
+    /// This node's identity.
+    fn me_ref(&self) -> NodeRef;
+    /// Chord-semantics routing decision for a key.
+    fn decide(&self, key: ChordId) -> RouteDecision;
+    /// Every node this table knows (used by load-balance probing).
+    fn neighbors(&self) -> Vec<NodeRef>;
+}
+
+impl OverlayTable for RoutingTable {
+    fn me_ref(&self) -> NodeRef {
+        self.me()
+    }
+    fn decide(&self, key: ChordId) -> RouteDecision {
+        self.route(key)
+    }
+    fn neighbors(&self) -> Vec<NodeRef> {
+        self.known_nodes()
+    }
+}
+
+impl OverlayTable for PastryTable {
+    fn me_ref(&self) -> NodeRef {
+        self.me()
+    }
+    fn decide(&self, key: ChordId) -> RouteDecision {
+        self.route(key)
+    }
+    fn neighbors(&self) -> Vec<NodeRef> {
+        self.known_nodes()
+    }
+}
+
+/// Which DHT substrate a system runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OverlayKind {
+    /// Chord with PNS fingers (the paper's platform).
+    #[default]
+    Chord,
+    /// Pastry-style digit routing with proximity rows.
+    Pastry,
+}
+
+/// A node's routing state, for either substrate.
+#[derive(Clone, Debug)]
+pub enum Overlay {
+    /// Chord finger table + successor list.
+    Chord(RoutingTable),
+    /// Pastry leaf set + digit rows.
+    Pastry(PastryTable),
+}
+
+impl Overlay {
+    /// Which substrate this is.
+    pub fn kind(&self) -> OverlayKind {
+        match self {
+            Overlay::Chord(_) => OverlayKind::Chord,
+            Overlay::Pastry(_) => OverlayKind::Pastry,
+        }
+    }
+
+    /// The Chord table, when this is one (protocol-specific callers).
+    pub fn as_chord(&self) -> Option<&RoutingTable> {
+        match self {
+            Overlay::Chord(t) => Some(t),
+            Overlay::Pastry(_) => None,
+        }
+    }
+}
+
+impl OverlayTable for Overlay {
+    fn me_ref(&self) -> NodeRef {
+        match self {
+            Overlay::Chord(t) => t.me(),
+            Overlay::Pastry(t) => t.me(),
+        }
+    }
+    fn decide(&self, key: ChordId) -> RouteDecision {
+        match self {
+            Overlay::Chord(t) => t.route(key),
+            Overlay::Pastry(t) => t.route(key),
+        }
+    }
+    fn neighbors(&self) -> Vec<NodeRef> {
+        match self {
+            Overlay::Chord(t) => t.known_nodes(),
+            Overlay::Pastry(t) => t.known_nodes(),
+        }
+    }
+}
+
+impl From<RoutingTable> for Overlay {
+    fn from(t: RoutingTable) -> Overlay {
+        Overlay::Chord(t)
+    }
+}
+
+impl From<PastryTable> for Overlay {
+    fn from(t: PastryTable) -> Overlay {
+        Overlay::Pastry(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chord::OracleRing;
+    use simnet::SimRng;
+
+    #[test]
+    fn both_substrates_agree_on_ownership_decisions() {
+        let mut rng = SimRng::new(3);
+        let ring = OracleRing::with_random_ids(24, &mut rng);
+        let chord_tables = ring.build_all_tables(8, None, 8);
+        let pastry_tables = pastry::build_all_tables(&ring, 8, None, 8);
+        use rand::RngCore;
+        for _ in 0..100 {
+            let key = ChordId(rng.next_u64());
+            let owner = ring.owner_of(key);
+            for node in ring.nodes() {
+                let c = Overlay::from(chord_tables[node.addr.0].clone());
+                let p = Overlay::from(pastry_tables[node.addr.0].clone());
+                let c_local = matches!(c.decide(key), RouteDecision::Local);
+                let p_local = matches!(p.decide(key), RouteDecision::Local);
+                assert_eq!(c_local, node.id == owner.id);
+                assert_eq!(p_local, node.id == owner.id);
+                assert_eq!(c.me_ref(), p.me_ref());
+            }
+        }
+    }
+
+    #[test]
+    fn kind_and_accessors() {
+        let mut rng = SimRng::new(4);
+        let ring = OracleRing::with_random_ids(4, &mut rng);
+        let c: Overlay = ring.build_table(0, 4, None, 4).into();
+        assert_eq!(c.kind(), OverlayKind::Chord);
+        assert!(c.as_chord().is_some());
+        let p: Overlay = pastry::table::build_table(&ring, 0, 4, None, 4).into();
+        assert_eq!(p.kind(), OverlayKind::Pastry);
+        assert!(p.as_chord().is_none());
+        assert!(!p.neighbors().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Small statistics helpers for experiment reporting.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The `pct`-th percentile (0–100) by nearest-rank on a copy of the data.
+pub fn percentile(xs: &[f64], pct: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&pct));
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((pct / 100.0) * (v.len() - 1) as f64).round() as usize;
+    v[idx]
+}
+
+/// Gini coefficient of a non-negative load distribution: 0 = perfectly
+/// even, →1 = one node holds everything. The standard single-number
+/// summary for the paper's load-distribution figures.
+pub fn gini(loads: &[usize]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = loads.iter().map(|&l| l as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// A five-number-ish summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (zeros for an empty one).
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        Summary {
+            mean: mean(xs),
+            p50: percentile(xs, 50.0),
+            p95: percentile(xs, 95.0),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean={:.2} p50={:.2} p95={:.2} min={:.2} max={:.2}",
+            self.mean, self.p50, self.p95, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&xs), 3.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.max, 0.0);
+        // Display doesn't panic and contains the mean.
+        assert!(format!("{s}").contains("mean=2.50"));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 50.0), 5.0);
+    }
+
+    #[test]
+    fn gini_bounds_and_known_values() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        // Perfectly even.
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        // Total concentration approaches (n-1)/n.
+        let g = gini(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-12, "{g}");
+        // Monotone: more skew, higher gini.
+        assert!(gini(&[1, 1, 1, 97]) > gini(&[10, 20, 30, 40]));
+        // Order-independent.
+        assert_eq!(gini(&[3, 1, 2]), gini(&[1, 2, 3]));
+    }
+}

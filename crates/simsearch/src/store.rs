@@ -1,0 +1,172 @@
+//! Per-node index-entry storage.
+//!
+//! An index node stores, for every entry it owns, the object id and the
+//! entry's index-space point (needed to match query regions and, during
+//! load migration, the ring key to split on). Entries are kept sorted by
+//! ring key so key-range operations (ownership transfer, split-point
+//! computation) are cheap.
+
+use lph::Rect;
+use metric::ObjectId;
+
+/// One stored index entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Ring position (rotated locality-preserving hash of `point`).
+    pub ring_key: u64,
+    /// The indexed object.
+    pub obj: ObjectId,
+    /// The object's index-space point (landmark distances).
+    pub point: Box<[f64]>,
+}
+
+/// A node's entries for one index scheme, ordered by ring key.
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    entries: Vec<Entry>,
+}
+
+impl Store {
+    /// Empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Number of stored entries — the paper's *load* measure.
+    pub fn load(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert one entry, keeping ring-key order (stable for equal keys).
+    pub fn insert(&mut self, e: Entry) {
+        let pos = self.entries.partition_point(|x| x.ring_key <= e.ring_key);
+        self.entries.insert(pos, e);
+    }
+
+    /// Bulk-load entries (sorts once; faster than repeated insert).
+    pub fn extend(&mut self, new: impl IntoIterator<Item = Entry>) {
+        self.entries.extend(new);
+        self.entries.sort_by_key(|e| e.ring_key);
+    }
+
+    /// All entries in ring-key order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Drain every entry out (ownership transfer on leave).
+    pub fn take_all(&mut self) -> Vec<Entry> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Remove and return entries whose ring key is `<= split` when
+    /// `lower` is true, else those `> split` — the hand-off of a key
+    /// sub-range during load migration. (Ranges here are within one
+    /// node's arc, which never wraps internally, so plain comparisons
+    /// apply after the caller normalizes.)
+    pub fn split_off(&mut self, split: u64, lower: bool) -> Vec<Entry> {
+        let cut = self.entries.partition_point(|e| e.ring_key <= split);
+        if lower {
+            let upper = self.entries.split_off(cut);
+            std::mem::replace(&mut self.entries, upper)
+        } else {
+            self.entries.split_off(cut)
+        }
+    }
+
+    /// The median ring key of the stored entries — the paper's split
+    /// point "to divide the load in halves". `None` when fewer than two
+    /// entries exist (nothing to divide).
+    pub fn median_key(&self) -> Option<u64> {
+        if self.entries.len() < 2 {
+            return None;
+        }
+        Some(self.entries[(self.entries.len() - 1) / 2].ring_key)
+    }
+
+    /// The node's local answer to a region query: entries whose index
+    /// point lies in `rect`, as `(object, index point)` pairs.
+    pub fn matching<'a>(&'a self, rect: &'a Rect) -> impl Iterator<Item = &'a Entry> + 'a {
+        self.entries.iter().filter(|e| rect.contains_point(&e.point))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(key: u64, obj: u32, x: f64) -> Entry {
+        Entry {
+            ring_key: key,
+            obj: ObjectId(obj),
+            point: vec![x].into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn insert_keeps_order() {
+        let mut s = Store::new();
+        s.insert(e(30, 0, 0.0));
+        s.insert(e(10, 1, 0.0));
+        s.insert(e(20, 2, 0.0));
+        let keys: Vec<u64> = s.entries().iter().map(|x| x.ring_key).collect();
+        assert_eq!(keys, vec![10, 20, 30]);
+        assert_eq!(s.load(), 3);
+    }
+
+    #[test]
+    fn extend_bulk_loads() {
+        let mut s = Store::new();
+        s.extend([e(5, 0, 0.0), e(1, 1, 0.0), e(3, 2, 0.0)]);
+        let keys: Vec<u64> = s.entries().iter().map(|x| x.ring_key).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn split_off_lower_and_upper() {
+        let mut s = Store::new();
+        s.extend((0..10).map(|i| e(i * 10, i as u32, 0.0)));
+        let lower = s.split_off(40, true);
+        assert_eq!(lower.len(), 5); // keys 0..=40
+        assert_eq!(s.load(), 5); // keys 50..=90
+        let upper = s.split_off(69, false);
+        assert_eq!(upper.len(), 3); // keys 70, 80, 90
+        assert_eq!(s.load(), 2);
+    }
+
+    #[test]
+    fn median_key_halves() {
+        let mut s = Store::new();
+        assert_eq!(s.median_key(), None);
+        s.insert(e(10, 0, 0.0));
+        assert_eq!(s.median_key(), None);
+        s.extend((1..10).map(|i| e(10 + i * 10, i as u32, 0.0)));
+        // Keys 10..=100; median splits 5/5.
+        let m = s.median_key().unwrap();
+        let lower = s.entries().iter().filter(|x| x.ring_key <= m).count();
+        assert_eq!(lower, 5);
+    }
+
+    #[test]
+    fn matching_filters_by_rect() {
+        let mut s = Store::new();
+        s.extend([e(1, 0, 0.5), e(2, 1, 2.5), e(3, 2, 1.5)]);
+        let rect = Rect::new(vec![1.0], vec![2.0]);
+        let hits: Vec<u32> = s.matching(&rect).map(|x| x.obj.0).collect();
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut s = Store::new();
+        s.extend([e(1, 0, 0.0), e(2, 1, 0.0)]);
+        let all = s.take_all();
+        assert_eq!(all.len(), 2);
+        assert!(s.is_empty());
+    }
+}

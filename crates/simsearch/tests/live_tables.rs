@@ -1,0 +1,91 @@
+//! Validation of the pre-stabilized shortcut: queries routed over tables
+//! produced by the *live* join/stabilize/fix-fingers protocol must
+//! return the same answers as the instant stabilized builder, at
+//! comparable cost.
+
+use std::sync::Arc;
+
+use metric::{Metric, ObjectId, L2};
+use simnet::SimDuration;
+use simsearch::{
+    IndexSpec, QueryDistance, QueryId, QueryOutcome, QuerySpec, SearchSystem, SystemConfig,
+};
+
+fn grid_points(side: usize) -> Vec<Vec<f64>> {
+    (0..side * side)
+        .map(|i| {
+            vec![
+                (i % side) as f64 * 100.0 / side as f64,
+                (i / side) as f64 * 100.0 / side as f64,
+            ]
+        })
+        .collect()
+}
+
+fn build(points: &[Vec<f64>], qpoints: Vec<Vec<f64>>) -> SearchSystem {
+    let op = points.to_vec();
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        let a: Vec<f32> = op[obj.0 as usize].iter().map(|&x| x as f32).collect();
+        let b: Vec<f32> = qpoints[qid as usize].iter().map(|&x| x as f32).collect();
+        L2::new().distance(&a, &b)
+    });
+    SearchSystem::build(
+        SystemConfig {
+            n_nodes: 24,
+            depth: 16,
+            ..SystemConfig::default()
+        },
+        &[IndexSpec {
+            name: "live-check".into(),
+            boundary: vec![(0.0, 100.0); 2],
+            points: points.to_vec(),
+            rotate: false,
+        }],
+        oracle,
+    )
+}
+
+fn queries() -> Vec<QuerySpec> {
+    [[20.0, 20.0], [55.0, 47.0], [90.0, 10.0], [5.0, 95.0]]
+        .iter()
+        .map(|q| QuerySpec {
+            index: 0,
+            point: q.to_vec(),
+            radius: 15.0,
+            truth: vec![],
+        })
+        .collect()
+}
+
+#[test]
+fn protocol_tables_answer_identically_to_static_tables() {
+    let points = grid_points(20);
+    let qpoints: Vec<Vec<f64>> = queries().into_iter().map(|q| q.point).collect();
+
+    let mut static_sys = build(&points, qpoints.clone());
+    let static_out = static_sys.run_queries(&queries(), 5.0);
+
+    let mut live_sys = build(&points, qpoints);
+    let ran = live_sys.adopt_live_tables(SimDuration::from_secs(180));
+    assert!(ran >= 170.0, "protocol should have run to the horizon");
+    let live_out = live_sys.run_queries(&queries(), 5.0);
+
+    let ids = |o: &QueryOutcome| -> Vec<u32> { o.results.iter().map(|&(id, _)| id.0).collect() };
+    for (s, l) in static_out.iter().zip(&live_out) {
+        assert_eq!(
+            ids(s),
+            ids(l),
+            "query {} answers differ between static and live tables",
+            s.qid
+        );
+        assert!(l.responses >= 1);
+        // Costs should be in the same ballpark (same converged ring) —
+        // allow slack for PNS finger differences.
+        assert!(
+            (l.hops as i64 - s.hops as i64).abs() <= 4,
+            "hops diverged: static {} vs live {}",
+            s.hops,
+            l.hops
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the per-node entry store against a naive model.
+
+use lph::Rect;
+use metric::ObjectId;
+use proptest::prelude::*;
+use simsearch::{Entry, Store};
+
+fn entry(key: u64, obj: u32, x: f64) -> Entry {
+    Entry {
+        ring_key: key,
+        obj: ObjectId(obj),
+        point: vec![x].into_boxed_slice(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn insert_matches_extend(mut keys in prop::collection::vec(any::<u64>(), 0..60)) {
+        let mut a = Store::new();
+        for (i, &k) in keys.iter().enumerate() {
+            a.insert(entry(k, i as u32, 0.0));
+        }
+        let mut b = Store::new();
+        b.extend(keys.iter().enumerate().map(|(i, &k)| entry(k, i as u32, 0.0)));
+        // Same multiset of keys in the same sorted order.
+        let ka: Vec<u64> = a.entries().iter().map(|e| e.ring_key).collect();
+        let kb: Vec<u64> = b.entries().iter().map(|e| e.ring_key).collect();
+        prop_assert_eq!(&ka, &kb);
+        keys.sort_unstable();
+        prop_assert_eq!(ka, keys);
+    }
+
+    #[test]
+    fn split_off_partitions(keys in prop::collection::vec(any::<u64>(), 1..60), split in any::<u64>()) {
+        let mk = || {
+            let mut s = Store::new();
+            s.extend(keys.iter().enumerate().map(|(i, &k)| entry(k, i as u32, 0.0)));
+            s
+        };
+        let mut lower_side = mk();
+        let lower = lower_side.split_off(split, true);
+        prop_assert!(lower.iter().all(|e| e.ring_key <= split));
+        prop_assert!(lower_side.entries().iter().all(|e| e.ring_key > split));
+        prop_assert_eq!(lower.len() + lower_side.load(), keys.len());
+
+        let mut upper_side = mk();
+        let upper = upper_side.split_off(split, false);
+        prop_assert!(upper.iter().all(|e| e.ring_key > split));
+        prop_assert!(upper_side.entries().iter().all(|e| e.ring_key <= split));
+        prop_assert_eq!(upper.len() + upper_side.load(), keys.len());
+    }
+
+    #[test]
+    fn median_key_roughly_halves(keys in prop::collection::vec(any::<u64>(), 2..80)) {
+        let mut s = Store::new();
+        s.extend(keys.iter().enumerate().map(|(i, &k)| entry(k, i as u32, 0.0)));
+        match s.median_key() {
+            None => {
+                // Only when every key is identical.
+                let all_same = keys.windows(2).all(|w| w[0] == w[1]);
+                prop_assert!(all_same || keys.len() < 2);
+            }
+            Some(m) => {
+                let lower = keys.iter().filter(|&&k| k <= m).count();
+                let upper = keys.len() - lower;
+                prop_assert!(lower >= 1 && upper >= 1, "both halves non-empty");
+                // The lower half holds at most ~half plus ties.
+                prop_assert!(lower <= keys.len().div_ceil(2) + keys.iter().filter(|&&k| k == m).count());
+            }
+        }
+    }
+
+    #[test]
+    fn matching_agrees_with_filter(xs in prop::collection::vec(0.0f64..10.0, 0..40), lo in 0.0f64..10.0, hi in 0.0f64..10.0) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut s = Store::new();
+        s.extend(xs.iter().enumerate().map(|(i, &x)| entry(i as u64, i as u32, x)));
+        let rect = Rect::new(vec![lo], vec![hi]);
+        let got: Vec<u32> = s.matching(&rect).map(|e| e.obj.0).collect();
+        let want: Vec<u32> = xs
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| lo <= x && x <= hi)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

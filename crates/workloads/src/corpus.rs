@@ -1,0 +1,397 @@
+//! Synthetic TREC-like document corpus (substitute for TREC-1,2-AP).
+//!
+//! The paper's text experiment (§4.3) indexes 157,021 AP Newswire
+//! documents as TF/IDF term vectors (233,640 distinct terms, per-doc
+//! distinct-term counts distributed per Table 2: min 1 / 5th 50 /
+//! median 146 / 95th 293 / max 676 / mean 155.4) and queries with the 50
+//! TREC-3 ad-hoc topics (≈3.5 distinct terms each). The corpus is
+//! licensed, so this module synthesizes a collection with the same
+//! *sparsity geometry*, which is what the paper's TREC findings actually
+//! depend on: most document pairs share no terms (sitting at the maximum
+//! angle π/2), greedy landmarks are themselves sparse documents, k-means
+//! centroids are dense.
+//!
+//! Construction: term popularity is Zipf(s≈1.07) over the vocabulary
+//! with the head excluded — the paper removes 571 SMART stopwords, and
+//! without that exclusion every document pair would share a Zipf-head
+//! term and nothing would be orthogonal. Documents are *topical* (news
+//! articles are about something): each document draws most of its terms
+//! from its topic's slice of the vocabulary and the rest from the global
+//! distribution, so cross-topic pairs share terms rarely (the π/2 mass)
+//! while same-topic documents form the clusters k-means landmarks find.
+//! Per-document distinct-term counts are lognormal fit to Table 2
+//! (`μ = ln 146`, `σ = 0.44`, clamped to `[1, 676]`); term frequencies
+//! within a document are geometric; weights are classic `tf·idf` with
+//! `idf = ln(N/df)` computed over the generated collection.
+
+use metric::SparseVector;
+use rand::distributions::Distribution;
+use rand_distr::Zipf;
+use simnet::SimRng;
+
+/// Corpus generation parameters. Full paper scale is
+/// `CorpusParams::paper_scale()`; the default is a laptop-fast scale
+/// with the same shape.
+#[derive(Clone, Debug)]
+pub struct CorpusParams {
+    /// Number of documents (paper: 157,021).
+    pub n_docs: usize,
+    /// Vocabulary size (paper: 233,640).
+    pub vocab: usize,
+    /// Zipf skew of term popularity.
+    pub zipf_s: f64,
+    /// Stopword count: the most popular `stopwords` Zipf ranks are
+    /// excluded (paper: 571 SMART stopwords removed). Scale this up for
+    /// small vocabularies to keep the orthogonality geometry.
+    pub stopwords: usize,
+    /// Lognormal μ of the distinct-term count (ln of the median).
+    pub len_mu: f64,
+    /// Lognormal σ of the distinct-term count.
+    pub len_sigma: f64,
+    /// Hard clamp on distinct terms per document (paper Table 2 max).
+    pub len_clamp: (usize, usize),
+    /// Mean distinct terms per query topic (paper: 3.5).
+    pub query_terms_mean: f64,
+    /// Number of distinct query topics (paper: 50).
+    pub n_topics: usize,
+    /// Number of subject areas documents cluster into.
+    pub subject_areas: usize,
+    /// Zipf skew *within* a subject area's vocabulary slice. Flatter
+    /// than the global skew: a topic's working vocabulary is not as
+    /// head-heavy as the whole language, and a head-heavy slice would
+    /// starve long documents of distinct topical terms.
+    pub zipf_area_s: f64,
+    /// Fraction of a document's terms drawn from its own subject area's
+    /// vocabulary slice (the rest come from the global distribution).
+    pub topic_mix: f64,
+}
+
+impl Default for CorpusParams {
+    fn default() -> Self {
+        CorpusParams {
+            n_docs: 20_000,
+            vocab: 40_000,
+            zipf_s: 1.07,
+            stopwords: 600,
+            len_mu: (146.0f64).ln(),
+            len_sigma: 0.44,
+            len_clamp: (1, 676),
+            query_terms_mean: 3.5,
+            n_topics: 50,
+            subject_areas: 60,
+            zipf_area_s: 0.75,
+            topic_mix: 0.96,
+        }
+    }
+}
+
+impl CorpusParams {
+    /// The paper's full TREC-1,2-AP scale.
+    pub fn paper_scale() -> CorpusParams {
+        CorpusParams {
+            n_docs: 157_021,
+            vocab: 233_640,
+            stopwords: 571,
+            ..CorpusParams::default()
+        }
+    }
+}
+
+/// A generated corpus: TF/IDF document vectors and query topics.
+pub struct Corpus {
+    /// Parameters used.
+    pub params: CorpusParams,
+    /// TF/IDF document vectors.
+    pub docs: Vec<SparseVector>,
+    /// TF/IDF query-topic vectors (50 at paper scale).
+    pub topics: Vec<SparseVector>,
+    /// Document frequency per term id (for diagnostics).
+    pub df: Vec<u32>,
+    /// Subject area of each document (for cluster diagnostics).
+    pub doc_areas: Vec<usize>,
+}
+
+/// Summary of per-document distinct-term counts — the paper's Table 2.
+#[derive(Clone, Copy, Debug)]
+pub struct VectorSizeStats {
+    /// Smallest document.
+    pub min: usize,
+    /// 5th percentile.
+    pub p5: usize,
+    /// Median.
+    pub p50: usize,
+    /// 95th percentile.
+    pub p95: usize,
+    /// Largest document.
+    pub max: usize,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl Corpus {
+    /// Generate a corpus; deterministic in `(params, seed)`.
+    pub fn generate(params: CorpusParams, seed: u64) -> Corpus {
+        assert!(params.n_docs >= 1 && params.vocab >= 2);
+        assert!(
+            params.stopwords + 2 * params.subject_areas < params.vocab,
+            "stopword cutoff leaves no vocabulary"
+        );
+        assert!((0.0..=1.0).contains(&params.topic_mix));
+        assert!(params.subject_areas >= 1);
+        let mut rng = SimRng::new(seed).fork(0xD0C5);
+        let zipf = Zipf::new(params.vocab as u64, params.zipf_s).expect("valid zipf");
+        // Global Zipf draw with the stopword head rejected.
+        let draw_global = |rng: &mut SimRng| -> u32 {
+            loop {
+                let rank = zipf.sample(rng) as usize; // 1-based
+                if rank > params.stopwords {
+                    return (rank - 1) as u32;
+                }
+            }
+        };
+        // Subject-area draw: area `a` owns the non-stopword term ids
+        // congruent to `a` modulo the area count, Zipf-ranked within the
+        // slice so each area has its own popular and rare vocabulary.
+        let areas = params.subject_areas;
+        let slice_len = (params.vocab - params.stopwords) / areas;
+        let zipf_area = Zipf::new(slice_len as u64, params.zipf_area_s).expect("valid zipf");
+        let draw_topical = |rng: &mut SimRng, area: usize| -> u32 {
+            let rank = zipf_area.sample(rng) as usize; // 1-based within slice
+            (params.stopwords + area + (rank - 1) * areas) as u32
+        };
+
+        // --- raw documents: distinct terms with integer frequencies ---
+        let mut raw_docs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(params.n_docs);
+        let mut doc_areas = Vec::with_capacity(params.n_docs);
+        let mut df = vec![0u32; params.vocab];
+        for _ in 0..params.n_docs {
+            let area = rng.index(areas);
+            doc_areas.push(area);
+            let len = sample_len(&mut rng, &params);
+            let mut terms: Vec<(u32, u32)> = Vec::with_capacity(len);
+            let mut attempts = 0;
+            while terms.len() < len && attempts < len * 30 {
+                attempts += 1;
+                let t = if rng.f64() < params.topic_mix {
+                    draw_topical(&mut rng, area)
+                } else {
+                    draw_global(&mut rng)
+                };
+                match terms.binary_search_by_key(&t, |&(x, _)| x) {
+                    Ok(i) => terms[i].1 += 1,
+                    Err(i) => terms.insert(i, (t, 1)),
+                }
+            }
+            // Give repeated draws geometric-ish extra occurrences.
+            for (_, c) in terms.iter_mut() {
+                while rng.f64() < 0.3 {
+                    *c += 1;
+                }
+            }
+            for &(t, _) in &terms {
+                df[t as usize] += 1;
+            }
+            raw_docs.push(terms);
+        }
+
+        // --- TF/IDF weighting ---
+        let n = params.n_docs as f64;
+        let weight = |tf: u32, dfi: u32| -> f32 {
+            let idf = (n / dfi.max(1) as f64).ln().max(1e-3);
+            ((1.0 + (tf as f64).ln()) * idf) as f32
+        };
+        let docs: Vec<SparseVector> = raw_docs
+            .iter()
+            .map(|terms| {
+                SparseVector::new(
+                    terms
+                        .iter()
+                        .map(|&(t, tf)| (t, weight(tf, df[t as usize])))
+                        .collect(),
+                )
+            })
+            .collect();
+
+        // --- query topics: short, mostly topical, TF 1 ---
+        let mut topic_rng = SimRng::new(seed).fork(0x70_71C5);
+        let topics = (0..params.n_topics)
+            .map(|_| {
+                let area = topic_rng.index(areas);
+                let len = poisson_at_least_one(&mut topic_rng, params.query_terms_mean);
+                let mut terms: Vec<(u32, f32)> = Vec::new();
+                let mut attempts = 0;
+                while terms.len() < len && attempts < len * 50 {
+                    attempts += 1;
+                    let t = if topic_rng.f64() < params.topic_mix {
+                        draw_topical(&mut topic_rng, area)
+                    } else {
+                        draw_global(&mut topic_rng)
+                    };
+                    if !terms.iter().any(|&(x, _)| x == t) {
+                        terms.push((t, weight(1, df[t as usize])));
+                    }
+                }
+                SparseVector::new(terms)
+            })
+            .collect();
+
+        Corpus {
+            params,
+            docs,
+            topics,
+            df,
+            doc_areas,
+        }
+    }
+
+    /// Per-document distinct-term statistics (compare to Table 2).
+    pub fn vector_size_stats(&self) -> VectorSizeStats {
+        let mut sizes: Vec<usize> = self.docs.iter().map(|d| d.nnz()).collect();
+        sizes.sort_unstable();
+        let pct = |p: f64| sizes[((p / 100.0) * (sizes.len() - 1) as f64).round() as usize];
+        VectorSizeStats {
+            min: sizes[0],
+            p5: pct(5.0),
+            p50: pct(50.0),
+            p95: pct(95.0),
+            max: sizes[sizes.len() - 1],
+            mean: sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
+        }
+    }
+}
+
+fn sample_len(rng: &mut SimRng, p: &CorpusParams) -> usize {
+    let z = normal(rng);
+    let len = (p.len_mu + p.len_sigma * z).exp().round() as usize;
+    len.clamp(p.len_clamp.0, p.len_clamp.1)
+}
+
+fn poisson_at_least_one(rng: &mut SimRng, mean: f64) -> usize {
+    // Knuth's method; small means only.
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        k += 1;
+        p *= rng.f64();
+        if p <= l {
+            break;
+        }
+    }
+    (k - 1).max(1)
+}
+
+fn normal(rng: &mut SimRng) -> f64 {
+    let u1 = 1.0 - rng.f64();
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Angular, Metric};
+
+    fn small() -> CorpusParams {
+        CorpusParams {
+            n_docs: 1_500,
+            vocab: 8_000,
+            // Proportionally more stopwords and fewer areas at this tiny
+            // vocabulary so the geometry matches the paper's scale.
+            stopwords: 400,
+            subject_areas: 12,
+            ..CorpusParams::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let c = Corpus::generate(small(), 1);
+        assert_eq!(c.docs.len(), 1_500);
+        assert_eq!(c.topics.len(), 50);
+        assert!(c.docs.iter().all(|d| d.nnz() >= 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Corpus::generate(small(), 9);
+        let b = Corpus::generate(small(), 9);
+        assert_eq!(a.docs.len(), b.docs.len());
+        for (x, y) in a.docs.iter().zip(&b.docs).step_by(97) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn size_stats_match_table2_shape() {
+        let c = Corpus::generate(small(), 2);
+        let s = c.vector_size_stats();
+        // Shape targets from Table 2, with tolerance for the small scale:
+        // median ≈ 146, mean ≈ 155, long right tail.
+        assert!(
+            (100..=200).contains(&s.p50),
+            "median {} too far from 146",
+            s.p50
+        );
+        assert!(s.mean > s.p50 as f64 * 0.9, "mean {} vs p50 {}", s.mean, s.p50);
+        assert!(s.p95 > s.p50, "{s:?}");
+        assert!(s.max <= 676);
+        assert!(s.min >= 1);
+        assert!(s.p5 < s.p50);
+    }
+
+    #[test]
+    fn queries_are_short() {
+        let c = Corpus::generate(small(), 3);
+        let mean = c.topics.iter().map(|t| t.nnz()).sum::<usize>() as f64 / 50.0;
+        assert!(
+            (1.5..=6.0).contains(&mean),
+            "query topics average {mean} terms, expected ≈3.5"
+        );
+        assert!(c.topics.iter().all(|t| t.nnz() >= 1));
+    }
+
+    #[test]
+    fn most_document_pairs_are_orthogonal() {
+        // The sparsity geometry the paper's TREC findings rest on: a
+        // large share of random pairs share no terms (angle = π/2).
+        let c = Corpus::generate(small(), 4);
+        let m = Angular::new();
+        let mut orthogonal = 0;
+        let mut total = 0;
+        for i in (0..c.docs.len()).step_by(51) {
+            for j in (1..c.docs.len()).step_by(73) {
+                if i == j {
+                    continue;
+                }
+                total += 1;
+                if (m.distance(&c.docs[i], &c.docs[j]) - std::f64::consts::FRAC_PI_2).abs() < 1e-9
+                {
+                    orthogonal += 1;
+                }
+            }
+        }
+        let frac = orthogonal as f64 / total as f64;
+        assert!(frac > 0.3, "only {frac:.2} of pairs orthogonal");
+    }
+
+    #[test]
+    fn df_accounts_every_document() {
+        let c = Corpus::generate(small(), 5);
+        let df_sum: u64 = c.df.iter().map(|&d| d as u64).sum();
+        let nnz_sum: u64 = c.docs.iter().map(|d| d.nnz() as u64).sum();
+        assert_eq!(df_sum, nnz_sum);
+    }
+
+    #[test]
+    fn popular_terms_have_higher_df() {
+        let c = Corpus::generate(small(), 6);
+        // Zipf beyond the stopword cutoff: the first surviving ranks are
+        // much more frequent than deep-tail terms; the stopword head has
+        // zero df by construction.
+        assert!(c.df[..400].iter().all(|&d| d == 0), "stopwords must not appear");
+        let head: u32 = c.df[400..450].iter().sum();
+        let tail: u32 = c.df[6000..6050].iter().sum();
+        assert!(head > tail * 3, "head {head} vs tail {tail}");
+    }
+}

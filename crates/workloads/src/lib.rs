@@ -1,0 +1,30 @@
+//! # workloads — datasets, query sets and ground truth
+//!
+//! Everything the paper's evaluation (§4) feeds into the index:
+//!
+//! * [`synthetic`] — the clustered multi-dimensional Gaussian generator
+//!   of Table 1 (100 dimensions, range `[0,100]`, 10 clusters, deviation
+//!   20, 10^5 objects; queries generated the same way);
+//! * [`corpus`] — a synthetic TREC-like document collection standing in
+//!   for the licensed TREC-1,2-AP dataset: Zipf-distributed vocabulary,
+//!   lognormal document lengths fit to the paper's Table 2 statistics,
+//!   TF/IDF term weights, and 50 short query topics (~3.5 distinct
+//!   terms) that experiments repeat to form the 2000-query workload;
+//! * [`strings`] — DNA-like string populations with mutation clusters
+//!   for the edit-distance examples;
+//! * [`ground_truth`] — exhaustive (rayon-parallel) k-NN scans that
+//!   define recall.
+
+pub mod corpus;
+pub mod expansion;
+pub mod ground_truth;
+pub mod strings;
+pub mod synthetic;
+pub mod timeseries;
+
+pub use corpus::{Corpus, CorpusParams};
+pub use expansion::expand_query;
+pub use ground_truth::knn_batch;
+pub use strings::{StringWorkload, StringWorkloadParams};
+pub use synthetic::{ClusteredParams, ClusteredVectors};
+pub use timeseries::{TimeSeriesParams, TimeSeriesWorkload};

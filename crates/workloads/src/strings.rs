@@ -1,0 +1,179 @@
+//! DNA-like string workloads for the edit-distance metric space (the
+//! paper's motivating example 1: similar DNA/protein sequences).
+//!
+//! The population is built as mutation families: a set of random
+//! ancestor sequences, each spawning descendants by point mutations
+//! (substitute / insert / delete — exactly the edit operations the
+//! metric counts), so near-neighbor structure is real and ground truth
+//! meaningful.
+
+use simnet::SimRng;
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct StringWorkloadParams {
+    /// Alphabet (default DNA).
+    pub alphabet: Vec<u8>,
+    /// Number of ancestor sequences.
+    pub families: usize,
+    /// Descendants per ancestor (population = families × (1 + members)).
+    pub members_per_family: usize,
+    /// Ancestor length range.
+    pub length: (usize, usize),
+    /// Mutations applied to each descendant.
+    pub mutations: (usize, usize),
+}
+
+impl Default for StringWorkloadParams {
+    fn default() -> Self {
+        StringWorkloadParams {
+            alphabet: b"ACGT".to_vec(),
+            families: 50,
+            members_per_family: 19,
+            length: (60, 100),
+            mutations: (1, 8),
+        }
+    }
+}
+
+/// A generated string population.
+#[derive(Clone, Debug)]
+pub struct StringWorkload {
+    /// Parameters used.
+    pub params: StringWorkloadParams,
+    /// All sequences (ancestors first within each family).
+    pub sequences: Vec<String>,
+}
+
+impl StringWorkload {
+    /// Generate; deterministic in `(params, seed)`.
+    pub fn generate(params: StringWorkloadParams, seed: u64) -> StringWorkload {
+        assert!(!params.alphabet.is_empty());
+        assert!(params.length.0 >= 1 && params.length.1 >= params.length.0);
+        let mut rng = SimRng::new(seed).fork(0xD9A);
+        let mut sequences = Vec::new();
+        for _ in 0..params.families {
+            let len =
+                params.length.0 + rng.index(params.length.1 - params.length.0 + 1);
+            let ancestor: Vec<u8> = (0..len)
+                .map(|_| params.alphabet[rng.index(params.alphabet.len())])
+                .collect();
+            sequences.push(String::from_utf8(ancestor.clone()).expect("ascii"));
+            for _ in 0..params.members_per_family {
+                let muts =
+                    params.mutations.0 + rng.index(params.mutations.1 - params.mutations.0 + 1);
+                let mut s = ancestor.clone();
+                for _ in 0..muts {
+                    mutate(&mut s, &params.alphabet, &mut rng);
+                }
+                sequences.push(String::from_utf8(s).expect("ascii"));
+            }
+        }
+        StringWorkload { params, sequences }
+    }
+
+    /// Query sequences: random members further mutated a little (so the
+    /// query is near, but not identical to, its family).
+    pub fn queries(&self, n: usize, seed: u64) -> Vec<String> {
+        let mut rng = SimRng::new(seed).fork(0x42_D9A);
+        (0..n)
+            .map(|_| {
+                let base = &self.sequences[rng.index(self.sequences.len())];
+                let mut s = base.as_bytes().to_vec();
+                let muts = 1 + rng.index(3);
+                for _ in 0..muts {
+                    mutate(&mut s, &self.params.alphabet, &mut rng);
+                }
+                String::from_utf8(s).expect("ascii")
+            })
+            .collect()
+    }
+}
+
+fn mutate(s: &mut Vec<u8>, alphabet: &[u8], rng: &mut SimRng) {
+    match rng.index(3) {
+        0 if !s.is_empty() => {
+            // substitute
+            let i = rng.index(s.len());
+            s[i] = alphabet[rng.index(alphabet.len())];
+        }
+        1 => {
+            // insert
+            let i = rng.index(s.len() + 1);
+            s.insert(i, alphabet[rng.index(alphabet.len())]);
+        }
+        _ if s.len() > 1 => {
+            // delete
+            let i = rng.index(s.len());
+            s.remove(i);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::EditDistance;
+
+    #[test]
+    fn population_size_and_alphabet() {
+        let w = StringWorkload::generate(StringWorkloadParams::default(), 1);
+        assert_eq!(w.sequences.len(), 50 * 20);
+        for s in &w.sequences {
+            assert!(s.bytes().all(|b| b"ACGT".contains(&b)));
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn family_members_are_near_their_ancestor() {
+        let params = StringWorkloadParams {
+            families: 5,
+            members_per_family: 10,
+            ..StringWorkloadParams::default()
+        };
+        let w = StringWorkload::generate(params, 2);
+        for f in 0..5 {
+            let ancestor = &w.sequences[f * 11];
+            for m in 1..=10 {
+                let member = &w.sequences[f * 11 + m];
+                let d = EditDistance::levenshtein(ancestor.as_bytes(), member.as_bytes());
+                assert!(d <= 8, "member {d} edits from ancestor");
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_far_apart() {
+        let w = StringWorkload::generate(StringWorkloadParams::default(), 3);
+        // Random 60-100 char DNA ancestors differ in tens of positions.
+        let a = &w.sequences[0];
+        let b = &w.sequences[20]; // next family's ancestor
+        let d = EditDistance::levenshtein(a.as_bytes(), b.as_bytes());
+        assert!(d > 20, "ancestors only {d} apart");
+    }
+
+    #[test]
+    fn queries_are_near_population() {
+        let w = StringWorkload::generate(StringWorkloadParams::default(), 4);
+        let qs = w.queries(10, 1);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            let dmin = w
+                .sequences
+                .iter()
+                .map(|s| EditDistance::levenshtein(q.as_bytes(), s.as_bytes()))
+                .min()
+                .unwrap();
+            assert!(dmin <= 3, "query {dmin} edits from everything");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = StringWorkload::generate(StringWorkloadParams::default(), 5);
+        let b = StringWorkload::generate(StringWorkloadParams::default(), 5);
+        assert_eq!(a.sequences, b.sequences);
+    }
+}

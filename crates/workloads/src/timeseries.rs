@@ -1,0 +1,242 @@
+//! Time-series subsequence workloads (the paper's motivating example 4:
+//! "searching approximate time series in data mining" under L1/L2).
+//!
+//! A long random-walk series is seeded with repeated *motifs* (noisy
+//! copies of fixed snippets planted at random positions), then cut into
+//! sliding windows. Windows are points of an L2 metric space; motif
+//! occurrences are each other's near neighbors, so similarity search has
+//! real structure to find and ground truth is meaningful.
+
+use simnet::SimRng;
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct TimeSeriesParams {
+    /// Total series length (samples).
+    pub length: usize,
+    /// Window size = dimensionality of the search space.
+    pub window: usize,
+    /// Stride between consecutive windows.
+    pub stride: usize,
+    /// Number of distinct motifs planted.
+    pub motifs: usize,
+    /// Occurrences of each motif.
+    pub motif_repeats: usize,
+    /// Per-sample noise added to each planted occurrence.
+    pub noise: f64,
+}
+
+impl Default for TimeSeriesParams {
+    fn default() -> Self {
+        TimeSeriesParams {
+            length: 20_000,
+            window: 64,
+            stride: 16,
+            motifs: 8,
+            motif_repeats: 12,
+            noise: 0.3,
+        }
+    }
+}
+
+/// A generated series with its window decomposition.
+#[derive(Clone, Debug)]
+pub struct TimeSeriesWorkload {
+    /// Parameters used.
+    pub params: TimeSeriesParams,
+    /// The raw series.
+    pub series: Vec<f32>,
+    /// Sliding windows (the searchable objects).
+    pub windows: Vec<Vec<f32>>,
+    /// Start offset of each window in the series.
+    pub window_starts: Vec<usize>,
+    /// The motif templates.
+    pub motif_templates: Vec<Vec<f32>>,
+    /// Planted (motif, start) occurrences.
+    pub plants: Vec<(usize, usize)>,
+}
+
+impl TimeSeriesWorkload {
+    /// Generate; deterministic in `(params, seed)`.
+    pub fn generate(params: TimeSeriesParams, seed: u64) -> TimeSeriesWorkload {
+        assert!(params.window >= 2 && params.stride >= 1);
+        assert!(params.length >= params.window * 4);
+        let mut rng = SimRng::new(seed).fork(0x7157);
+
+        // Base series: bounded random walk.
+        let mut series = Vec::with_capacity(params.length);
+        let mut level = 0.0f64;
+        for _ in 0..params.length {
+            level += (rng.f64() - 0.5) * 2.0;
+            level *= 0.999; // mean reversion keeps the walk bounded-ish
+            series.push(level as f32);
+        }
+
+        // Motif templates: smoother mini-walks with a distinctive scale.
+        let motif_templates: Vec<Vec<f32>> = (0..params.motifs)
+            .map(|_| {
+                let mut v = Vec::with_capacity(params.window);
+                let mut x = 0.0f64;
+                for _ in 0..params.window {
+                    x += (rng.f64() - 0.5) * 6.0;
+                    v.push(x as f32);
+                }
+                v
+            })
+            .collect();
+
+        // Plant noisy occurrences at non-overlapping random offsets.
+        let mut plants = Vec::new();
+        let mut occupied: Vec<(usize, usize)> = Vec::new();
+        let max_start = params.length - params.window;
+        'outer: for (m, template) in motif_templates.iter().enumerate() {
+            let mut placed = 0;
+            let mut attempts = 0;
+            while placed < params.motif_repeats {
+                attempts += 1;
+                if attempts > params.motif_repeats * 200 {
+                    continue 'outer; // series too crowded; keep what fits
+                }
+                let start = rng.index(max_start);
+                if occupied
+                    .iter()
+                    .any(|&(s, e)| start < e && s < start + params.window)
+                {
+                    continue;
+                }
+                occupied.push((start, start + params.window));
+                for (i, &v) in template.iter().enumerate() {
+                    series[start + i] = v + ((rng.f64() - 0.5) * 2.0 * params.noise) as f32;
+                }
+                plants.push((m, start));
+                placed += 1;
+            }
+        }
+
+        // Sliding windows.
+        let mut windows = Vec::new();
+        let mut window_starts = Vec::new();
+        let mut s = 0;
+        while s + params.window <= params.length {
+            windows.push(series[s..s + params.window].to_vec());
+            window_starts.push(s);
+            s += params.stride;
+        }
+
+        TimeSeriesWorkload {
+            params,
+            series,
+            windows,
+            window_starts,
+            motif_templates,
+            plants,
+        }
+    }
+
+    /// Query snippets: fresh noisy copies of planted motifs (so each
+    /// query has `motif_repeats` genuine near neighbors in the windows).
+    pub fn queries(&self, n: usize, seed: u64) -> Vec<(usize, Vec<f32>)> {
+        let mut rng = SimRng::new(seed).fork(0x9157);
+        (0..n)
+            .map(|_| {
+                let m = rng.index(self.motif_templates.len());
+                let q = self.motif_templates[m]
+                    .iter()
+                    .map(|&v| v + ((rng.f64() - 0.5) * 2.0 * self.params.noise) as f32)
+                    .collect();
+                (m, q)
+            })
+            .collect()
+    }
+
+    /// Window indices that start exactly at a planted occurrence of
+    /// motif `m` (the retrieval targets).
+    pub fn occurrences_of(&self, m: usize) -> Vec<usize> {
+        self.plants
+            .iter()
+            .filter(|&&(pm, _)| pm == m)
+            .filter_map(|&(_, start)| {
+                // Window starts are multiples of the stride; planted
+                // starts are arbitrary — match the window covering the
+                // plant start when aligned, else the nearest start.
+                self.window_starts.iter().position(|&ws| ws == start)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Metric, L2};
+
+    fn small() -> TimeSeriesParams {
+        TimeSeriesParams {
+            length: 4_000,
+            window: 32,
+            stride: 1, // align windows with plants for the tests
+            motifs: 4,
+            motif_repeats: 6,
+            noise: 0.2,
+        }
+    }
+
+    #[test]
+    fn structure_and_determinism() {
+        let a = TimeSeriesWorkload::generate(small(), 1);
+        let b = TimeSeriesWorkload::generate(small(), 1);
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.windows.len(), a.window_starts.len());
+        assert_eq!(a.windows[0].len(), 32);
+        assert_eq!(a.plants.len(), 4 * 6);
+        let c = TimeSeriesWorkload::generate(small(), 2);
+        assert_ne!(a.series, c.series);
+    }
+
+    #[test]
+    fn planted_occurrences_are_near_their_template() {
+        let w = TimeSeriesWorkload::generate(small(), 3);
+        let m = L2::new();
+        for &(motif, start) in &w.plants {
+            let window = &w.series[start..start + 32];
+            let d = m.distance(window, &w.motif_templates[motif]);
+            // Noise 0.2 per sample over 32 samples: distance ≤ 0.2*sqrt(32).
+            assert!(d <= 0.2 * (32f64).sqrt() + 1e-6, "plant {motif}@{start}: {d}");
+        }
+    }
+
+    #[test]
+    fn occurrences_resolve_to_window_indices() {
+        let w = TimeSeriesWorkload::generate(small(), 4);
+        for motif in 0..4 {
+            let occ = w.occurrences_of(motif);
+            assert_eq!(occ.len(), 6, "stride 1 must align every plant");
+            for wi in occ {
+                let d = L2::new().distance(
+                    w.windows[wi].as_slice(),
+                    w.motif_templates[motif].as_slice(),
+                );
+                assert!(d <= 0.2 * (32f64).sqrt() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_find_their_motif_windows() {
+        let w = TimeSeriesWorkload::generate(small(), 5);
+        let m = L2::new();
+        for (motif, q) in w.queries(8, 9) {
+            let occ = w.occurrences_of(motif);
+            // Every occurrence window is within twice the noise envelope
+            // of the query.
+            for &wi in &occ {
+                let d = m.distance(q.as_slice(), w.windows[wi].as_slice());
+                assert!(d <= 2.0 * 0.2 * (32f64).sqrt() + 1e-6, "query-motif {d}");
+            }
+            // And random non-motif windows are much farther.
+            let far = m.distance(q.as_slice(), w.windows[w.windows.len() / 2].as_slice());
+            let near = m.distance(q.as_slice(), w.windows[occ[0]].as_slice());
+            assert!(far > near, "motif window must be nearer than a random one");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Quickstart: index a small clustered vector dataset on a simulated
+//! Chord overlay and answer a near-neighbor query.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow is the whole paper in miniature:
+//! 1. generate data and sample it,
+//! 2. pick landmarks (k-means) and map every object to its
+//!    landmark-distance point,
+//! 3. build the overlay and publish the index,
+//! 4. issue a range query and merge the per-node answers,
+//! 5. compare against an exhaustive scan.
+
+use std::sync::Arc;
+
+use landmark::{boundary_from_metric, kmeans, Mapper, SelectionMethod};
+use metric::{Dataset, Metric, ObjectId, L2};
+use simnet::SimRng;
+use simsearch::{IndexSpec, QueryDistance, QueryId, QuerySpec, SearchSystem, SystemConfig};
+use workloads::{ClusteredParams, ClusteredVectors};
+
+fn main() {
+    let seed = 42;
+
+    // 1. A clustered dataset: 5000 objects, 20 dims, 5 clusters.
+    let data = ClusteredVectors::generate(
+        ClusteredParams {
+            dims: 20,
+            clusters: 5,
+            deviation: 8.0,
+            n_objects: 5_000,
+            ..ClusteredParams::default()
+        },
+        seed,
+    );
+    println!("dataset: {} objects, 20 dims, 5 clusters", data.objects.len());
+
+    // 2. Landmarks by k-means over a sample; map everything.
+    let mut rng = SimRng::new(seed);
+    let sample_idx = rng.sample_indices(data.objects.len(), 500);
+    let sample: Vec<Vec<f32>> = sample_idx.iter().map(|&i| data.objects[i].clone()).collect();
+    let metric = L2::bounded(20, 0.0, 100.0);
+    let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 5, 15, &mut rng);
+    println!(
+        "selected {} landmarks with {}",
+        landmarks.len(),
+        SelectionMethod::KMeans
+    );
+    let mapper = Mapper::new(metric, landmarks);
+    let points: Vec<Vec<f64>> = data
+        .objects
+        .iter()
+        .map(|o| mapper.map(o.as_slice()))
+        .collect();
+    let boundary = boundary_from_metric(&metric, 5).expect("bounded metric");
+
+    // 3. Build a 64-node overlay and publish the index.
+    let query_obj: Vec<f32> = data.queries(1, seed ^ 1).remove(0);
+    let oracle_objects = Arc::new(data.objects.clone());
+    let oracle_query = query_obj.clone();
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |_qid: QueryId, obj: ObjectId| {
+        L2::new().distance(
+            oracle_query.as_slice(),
+            oracle_objects[obj.0 as usize].as_slice(),
+        )
+    });
+    let mut system = SearchSystem::build(
+        SystemConfig {
+            n_nodes: 64,
+            seed,
+            ..SystemConfig::default()
+        },
+        &[IndexSpec {
+            name: "quickstart".into(),
+            boundary: boundary.dims,
+            points,
+            rotate: false,
+        }],
+        oracle,
+    );
+    println!("published {} entries over 64 nodes", system.total_entries(0));
+
+    // 4. One range query: radius = 4% of the maximum distance.
+    let radius = 0.04 * data.max_distance();
+    let truth: Vec<ObjectId> = Dataset::new(data.objects.clone())
+        .knn(&L2::new(), query_obj.as_slice(), 10)
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    let outcomes = system.run_queries(
+        &[QuerySpec {
+            index: 0,
+            point: mapper.map(query_obj.as_slice()),
+            radius,
+            truth: truth.clone(),
+        }],
+        1.0,
+    );
+
+    // 5. Report.
+    let o = &outcomes[0];
+    println!("\nquery with radius {radius:.1} (range factor 4%):");
+    println!("  hops          : {}", o.hops);
+    println!("  response time : {:.1} ms", o.response_ms);
+    println!("  max latency   : {:.1} ms", o.max_latency_ms);
+    println!(
+        "  bandwidth     : {} B query + {} B results over {} messages",
+        o.query_bytes, o.result_bytes, o.query_msgs
+    );
+    println!("  recall@10     : {:.0}%", o.recall * 100.0);
+    println!("\ntop results (object id, true distance):");
+    for &(id, d) in o.results.iter().take(10) {
+        let mark = if truth.contains(&id) { '*' } else { ' ' };
+        println!("  {mark} #{:<6} d={d:.2}", id.0);
+    }
+    println!("(* = member of the exact 10-NN)");
+}

@@ -1,0 +1,344 @@
+//! Cross-crate integration: the full pipeline — workload generation,
+//! landmark selection, mapping, overlay construction, publication,
+//! distributed query resolution, recall against an exhaustive scan —
+//! exercised over three different metric spaces.
+
+use std::sync::Arc;
+
+use landmark::{boundary_from_metric, boundary_from_sample, greedy, kmeans, Mapper};
+use metric::{Angular, Dataset, EditDistance, Metric, ObjectId, SparseVector, L2};
+use simnet::SimRng;
+use simsearch::{IndexSpec, QueryDistance, QueryId, QuerySpec, SearchSystem, SystemConfig};
+use workloads::{ClusteredParams, ClusteredVectors, Corpus, CorpusParams, StringWorkload, StringWorkloadParams};
+
+/// Vectors under L2, k-means landmarks: generous radius must give
+/// perfect recall; results must exactly match the brute-force range
+/// semantics (top-k by true distance among box candidates).
+#[test]
+fn vectors_l2_pipeline() {
+    let seed = 5;
+    let data = ClusteredVectors::generate(
+        ClusteredParams {
+            dims: 12,
+            clusters: 3,
+            deviation: 6.0,
+            n_objects: 2_500,
+            ..ClusteredParams::default()
+        },
+        seed,
+    );
+    let metric = L2::bounded(12, 0.0, 100.0);
+    let mut rng = SimRng::new(seed);
+    let sample: Vec<Vec<f32>> = rng
+        .sample_indices(data.objects.len(), 250)
+        .into_iter()
+        .map(|i| data.objects[i].clone())
+        .collect();
+    let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 4, 10, &mut rng);
+    let mapper = Mapper::new(metric, landmarks);
+    let points: Vec<Vec<f64>> = data.objects.iter().map(|o| mapper.map(o.as_slice())).collect();
+
+    let qpoints = data.queries(8, seed ^ 1);
+    let ds = Dataset::new(data.objects.clone());
+    let queries: Vec<QuerySpec> = qpoints
+        .iter()
+        .map(|q| QuerySpec {
+            index: 0,
+            point: mapper.map(q.as_slice()),
+            radius: 0.15 * data.max_distance(),
+            truth: ds
+                .knn(&L2::new(), q.as_slice(), 10)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect(),
+        })
+        .collect();
+
+    let objects = Arc::new(data.objects.clone());
+    let qp = Arc::new(qpoints);
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        L2::new().distance(qp[qid as usize].as_slice(), objects[obj.0 as usize].as_slice())
+    });
+    let mut system = SearchSystem::build(
+        SystemConfig {
+            n_nodes: 40,
+            seed,
+            ..SystemConfig::default()
+        },
+        &[IndexSpec {
+            name: "e2e-vectors".into(),
+            boundary: boundary_from_metric(&metric, 4).unwrap().dims,
+            points,
+            rotate: false,
+        }],
+        oracle,
+    );
+    let outcomes = system.run_queries(&queries, 30.0);
+    for o in &outcomes {
+        assert_eq!(o.recall, 1.0, "query {} recall {}", o.qid, o.recall);
+        assert!(o.responses >= 1);
+        assert!(o.hops <= 16);
+        // Results sorted ascending by true distance.
+        for w in o.results.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}
+
+/// Strings under edit distance, greedy landmarks, sampled boundary:
+/// every family member within the radius must be found.
+#[test]
+fn strings_edit_pipeline() {
+    let seed = 6;
+    let workload = StringWorkload::generate(
+        StringWorkloadParams {
+            families: 12,
+            members_per_family: 9,
+            ..StringWorkloadParams::default()
+        },
+        seed,
+    );
+    let seqs = workload.sequences.clone();
+    let mut rng = SimRng::new(seed);
+    let sample: Vec<String> = rng
+        .sample_indices(seqs.len(), 80)
+        .into_iter()
+        .map(|i| seqs[i].clone())
+        .collect();
+    let landmarks = greedy::<_, str, _>(&EditDistance, &sample, 4, &mut rng);
+    let mapper = Mapper::new(EditDistance, landmarks);
+    let points: Vec<Vec<f64>> = seqs.iter().map(|s| mapper.map(s.as_str())).collect();
+    let boundary = boundary_from_sample::<_, str, _>(&mapper, &sample, 0.1);
+
+    // Query: the first family's ancestor; radius 9 covers its family
+    // (members are ≤8 mutations away).
+    let query = seqs[0].clone();
+    let radius = 9.0;
+    let brute: Vec<ObjectId> = seqs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| Metric::<str>::distance(&EditDistance, &query, s) <= radius)
+        .map(|(i, _)| ObjectId(i as u32))
+        .collect();
+    assert!(brute.len() >= 5, "family should be within radius");
+
+    let oracle_seqs = Arc::new(seqs.clone());
+    let q2 = query.clone();
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |_qid: QueryId, obj: ObjectId| {
+        Metric::<str>::distance(&EditDistance, &q2, &oracle_seqs[obj.0 as usize])
+    });
+    let mut system = SearchSystem::build(
+        SystemConfig {
+            n_nodes: 24,
+            seed,
+            knn_k: 64, // return everything in range for this check
+            ..SystemConfig::default()
+        },
+        &[IndexSpec {
+            name: "e2e-dna".into(),
+            boundary: boundary.dims,
+            points,
+            rotate: false,
+        }],
+        oracle,
+    );
+    let outcomes = system.run_queries(
+        &[QuerySpec {
+            index: 0,
+            point: mapper.map(query.as_str()),
+            radius,
+            truth: brute.clone(),
+        }],
+        1.0,
+    );
+    let found: Vec<ObjectId> = outcomes[0]
+        .results
+        .iter()
+        .filter(|&&(_, d)| d <= radius)
+        .map(|&(id, _)| id)
+        .collect();
+    for want in &brute {
+        assert!(
+            found.contains(want),
+            "family member {want:?} not retrieved; found {found:?}"
+        );
+    }
+}
+
+/// Documents under the angular metric with k-means centroids: the recall
+/// at a generous angle must beat the recall at a tiny angle, and both
+/// runs return only genuine documents.
+#[test]
+fn documents_angular_pipeline() {
+    let seed = 8;
+    let corpus = Corpus::generate(
+        CorpusParams {
+            n_docs: 1_200,
+            vocab: 8_000,
+            stopwords: 400,
+            subject_areas: 12,
+            ..CorpusParams::default()
+        },
+        seed,
+    );
+    let metric = Angular::new();
+    let mut rng = SimRng::new(seed);
+    let sample: Vec<SparseVector> = rng
+        .sample_indices(corpus.docs.len(), 150)
+        .into_iter()
+        .map(|i| corpus.docs[i].clone())
+        .collect();
+    let landmarks = kmeans::<_, SparseVector, _>(&metric, &sample, 5, 8, &mut rng);
+    let mapper = Mapper::new(metric, landmarks);
+    let points: Vec<Vec<f64>> = corpus.docs.iter().map(|d| mapper.map(d)).collect();
+    let boundary = boundary_from_sample::<_, SparseVector, _>(&mapper, &sample, 0.02);
+
+    let topic = corpus.topics[1].clone();
+    let mut truth: Vec<(ObjectId, f64)> = corpus
+        .docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (ObjectId(i as u32), metric.distance(&topic, d)))
+        .collect();
+    truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    let truth_ids: Vec<ObjectId> = truth.iter().take(10).map(|&(id, _)| id).collect();
+
+    let run = |radius: f64| {
+        let docs = Arc::new(corpus.docs.clone());
+        let t = topic.clone();
+        let oracle: Arc<dyn QueryDistance> = Arc::new(move |_qid: QueryId, obj: ObjectId| {
+            Angular::new().distance(&t, &docs[obj.0 as usize])
+        });
+        let mut system = SearchSystem::build(
+            SystemConfig {
+                n_nodes: 24,
+                seed,
+                ..SystemConfig::default()
+            },
+            &[IndexSpec {
+                name: "e2e-docs".into(),
+                boundary: boundary.dims.clone(),
+                points: points.clone(),
+                rotate: false,
+            }],
+            oracle,
+        );
+        system.run_queries(
+            &[QuerySpec {
+                index: 0,
+                point: mapper.map(&topic),
+                radius,
+                truth: truth_ids.clone(),
+            }],
+            1.0,
+        )[0]
+        .clone()
+    };
+
+    let tight = run(0.01 * std::f64::consts::FRAC_PI_2);
+    let wide = run(0.9 * std::f64::consts::FRAC_PI_2);
+    assert!(wide.recall >= tight.recall);
+    assert!(
+        wide.recall >= 0.9,
+        "wide angle should recover the 10-NN, got {}",
+        wide.recall
+    );
+}
+
+/// Tag sets under the Jaccard metric — a fourth metric space through the
+/// full pipeline, exercising the bounded-metric boundary route with a
+/// purely set-valued data type.
+#[test]
+fn tagsets_jaccard_pipeline() {
+    use metric::{IdSet, Jaccard};
+
+    let seed = 12;
+    let mut rng = SimRng::new(seed);
+    // 60 "interest profiles": families of tag sets around 12 prototypes.
+    let prototypes: Vec<Vec<u32>> = (0..12)
+        .map(|p| (0..12).map(|i| (p * 40 + i) as u32).collect())
+        .collect();
+    let mut sets: Vec<IdSet> = Vec::new();
+    for proto in &prototypes {
+        for _ in 0..40 {
+            let mut tags = proto.clone();
+            // Drop a few, add a few noise tags.
+            for _ in 0..3 {
+                let i = rng.index(tags.len());
+                tags.remove(i);
+            }
+            for _ in 0..2 {
+                tags.push(1000 + rng.below(500) as u32);
+            }
+            sets.push(IdSet::new(tags));
+        }
+    }
+    let metric = Jaccard;
+    let sample: Vec<IdSet> = rng
+        .sample_indices(sets.len(), 120)
+        .into_iter()
+        .map(|i| sets[i].clone())
+        .collect();
+    let landmarks = greedy::<_, IdSet, _>(&metric, &sample, 4, &mut rng);
+    let mapper = Mapper::new(metric, landmarks);
+    let points: Vec<Vec<f64>> = sets.iter().map(|s| mapper.map(s)).collect();
+    // Jaccard is bounded by 1: boundary straight from the metric.
+    let boundary = boundary_from_metric(&metric, 4).unwrap();
+
+    // Query: a fresh variation of prototype 5.
+    let query = IdSet::new(
+        prototypes[5]
+            .iter()
+            .copied()
+            .skip(2)
+            .chain([1900u32, 1901])
+            .collect(),
+    );
+    let brute: Vec<ObjectId> = {
+        let mut d: Vec<(ObjectId, f64)> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ObjectId(i as u32), metric.distance(&query, s)))
+            .collect();
+        d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        d.into_iter().take(10).map(|(id, _)| id).collect()
+    };
+
+    let oracle_sets = Arc::new(sets.clone());
+    let q2 = query.clone();
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |_qid: QueryId, obj: ObjectId| {
+        Jaccard.distance(&q2, &oracle_sets[obj.0 as usize])
+    });
+    let mut system = SearchSystem::build(
+        SystemConfig {
+            n_nodes: 20,
+            seed,
+            ..SystemConfig::default()
+        },
+        &[IndexSpec {
+            name: "tagsets".into(),
+            boundary: boundary.dims,
+            points,
+            rotate: false,
+        }],
+        oracle,
+    );
+    let outcomes = system.run_queries(
+        &[QuerySpec {
+            index: 0,
+            point: mapper.map(&query),
+            radius: 0.95, // nearly the whole bounded space: exact top-10
+            truth: brute.clone(),
+        }],
+        1.0,
+    );
+    assert_eq!(outcomes[0].recall, 1.0, "Jaccard pipeline must be exact");
+    // The retrieved sets are overwhelmingly from prototype 5's family
+    // (ids 200..240).
+    let family_hits = outcomes[0]
+        .results
+        .iter()
+        .filter(|&&(id, _)| (200..240).contains(&id.0))
+        .count();
+    assert!(family_hits >= 8, "only {family_hits}/10 from the family");
+}
