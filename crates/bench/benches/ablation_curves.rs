@@ -32,9 +32,7 @@ fn main() {
             let mut h_total = 0usize;
             let mut counted = 0usize;
             for _ in 0..trials {
-                let lo: Vec<f64> = (0..dims)
-                    .map(|_| rng.f64() * (1.0 - side_frac))
-                    .collect();
+                let lo: Vec<f64> = (0..dims).map(|_| rng.f64() * (1.0 - side_frac)).collect();
                 let hi: Vec<f64> = lo.iter().map(|&l| l + side_frac).collect();
                 let rect = Rect::new(lo, hi);
                 let z = grid.runs_for_rect(&rect, |c| grid.morton_rank_of_cell(c), 2_000_000);

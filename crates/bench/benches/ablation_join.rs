@@ -20,7 +20,10 @@ use std::sync::Arc;
 fn main() {
     let scale = Scale::from_env();
     println!("=== Ablation: join-time balancing vs dynamic migration ===");
-    println!("{} nodes, {} objects, KMean-10", scale.n_nodes, scale.n_objects);
+    println!(
+        "{} nodes, {} objects, KMean-10",
+        scale.n_nodes, scale.n_objects
+    );
 
     let setup = synth_setup(&scale);
     let landmarks = select_landmarks(&setup, SelectionMethod::KMeans, 10, &scale);
@@ -70,10 +73,7 @@ fn main() {
     );
     let mut out = Vec::new();
     for (pname, load_aware) in [("random", false), ("load-aware", true)] {
-        for (mname, lb) in [
-            ("off", None),
-            ("on", Some(LoadBalanceConfig::default())),
-        ] {
+        for (mname, lb) in [("off", None), ("on", Some(LoadBalanceConfig::default()))] {
             let cfg = SystemConfig {
                 n_nodes: scale.n_nodes,
                 seed: scale.seed,
@@ -121,8 +121,6 @@ fn main() {
         aware_off * 4 <= rand_off,
         "load-aware joins should flatten: {aware_off} !<< {rand_off}"
     );
-    println!(
-        "\nOK: load-aware joins cut the unbalanced maximum load {rand_off} -> {aware_off}."
-    );
+    println!("\nOK: load-aware joins cut the unbalanced maximum load {rand_off} -> {aware_off}.");
     save_json("ablation_join", &out);
 }

@@ -22,7 +22,10 @@ use std::sync::Arc;
 fn main() {
     let scale = Scale::from_env();
     println!("=== Ablation: k-NN initial-radius strategies (exact 10-NN) ===");
-    println!("{} nodes, {} objects, KMean-10", scale.n_nodes, scale.n_objects);
+    println!(
+        "{} nodes, {} objects, KMean-10",
+        scale.n_nodes, scale.n_objects
+    );
 
     let setup = synth_setup(&scale);
     let landmarks = select_landmarks(&setup, SelectionMethod::KMeans, 10, &scale);
@@ -53,7 +56,10 @@ fn main() {
     radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let est_radius = radii[radii.len() / 2];
     let max_d = setup.dataset.max_distance();
-    println!("estimated 10-NN radius: {est_radius:.1} ({:.1}% of max)", est_radius / max_d * 100.0);
+    println!(
+        "estimated 10-NN radius: {est_radius:.1} ({:.1}% of max)",
+        est_radius / max_d * 100.0
+    );
 
     let n_queries = scale.n_queries.min(60); // knn runs are sequential
     let objects = Arc::new(setup.dataset.objects.clone());

@@ -66,12 +66,16 @@ fn main() {
         aggressive < baseline,
         "aggressive balancing must cut max load: {aggressive} !< {baseline}"
     );
-    println!("\nOK: delta=0/P_l=4 cuts the maximum load vs unbalanced ({baseline} -> {aggressive}).");
+    println!(
+        "\nOK: delta=0/P_l=4 cuts the maximum load vs unbalanced ({baseline} -> {aggressive})."
+    );
     save_json(
         "ablation_lb_params",
         &results
             .iter()
-            .map(|(d, p, l, r)| serde_json::json!({"delta": d, "probe": p, "max_load": l, "row": r}))
+            .map(
+                |(d, p, l, r)| serde_json::json!({"delta": d, "probe": p, "max_load": l, "row": r}),
+            )
             .collect::<Vec<_>>(),
     );
 }

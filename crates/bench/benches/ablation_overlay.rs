@@ -12,12 +12,18 @@ use simsearch::OverlayKind;
 fn main() {
     let scale = Scale::from_env();
     println!("=== Ablation: Chord vs Pastry overlay under the same index ===");
-    println!("{} nodes, {} objects, KMean-10", scale.n_nodes, scale.n_objects);
+    println!(
+        "{} nodes, {} objects, KMean-10",
+        scale.n_nodes, scale.n_objects
+    );
     let setup = synth_setup(&scale);
     let factors = [0.02, 0.05, 0.10];
 
     let mut table = Vec::new();
-    for (name, overlay) in [("chord", OverlayKind::Chord), ("pastry", OverlayKind::Pastry)] {
+    for (name, overlay) in [
+        ("chord", OverlayKind::Chord),
+        ("pastry", OverlayKind::Pastry),
+    ] {
         eprintln!("running {name} ...");
         let run = SynthRun {
             overlay,
@@ -49,9 +55,8 @@ fn main() {
 
     // Shape checks: identical answers; Pastry's digit routing shortens
     // paths on average.
-    let mean_hops = |rows: &[bench::Row]| {
-        rows.iter().map(|r| r.hops).sum::<f64>() / rows.len() as f64
-    };
+    let mean_hops =
+        |rows: &[bench::Row]| rows.iter().map(|r| r.hops).sum::<f64>() / rows.len() as f64;
     for fi in 0..factors.len() {
         assert!(
             (table[0].1[fi].recall - table[1].1[fi].recall).abs() < 1e-9,

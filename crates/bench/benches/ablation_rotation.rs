@@ -20,7 +20,10 @@ fn main() {
     let scale = Scale::from_env();
     const N_INDEXES: usize = 4;
     println!("=== Ablation: space-mapping rotation with {N_INDEXES} co-hosted indexes ===");
-    println!("{} nodes, {} objects per index", scale.n_nodes, scale.n_objects);
+    println!(
+        "{} nodes, {} objects per index",
+        scale.n_nodes, scale.n_objects
+    );
 
     let setup = synth_setup(&scale);
     let landmarks = select_landmarks(&setup, SelectionMethod::KMeans, 10, &scale);

@@ -26,7 +26,11 @@ fn main() {
         scale.n_nodes,
         scale.n_queries,
         scale.seed,
-        if scale.full { " (paper scale)" } else { " (quick scale; SIMSEARCH_FULL=1 for paper scale)" }
+        if scale.full {
+            " (paper scale)"
+        } else {
+            " (quick scale; SIMSEARCH_FULL=1 for paper scale)"
+        }
     );
 
     let setup = synth_setup(&scale);

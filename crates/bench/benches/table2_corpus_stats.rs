@@ -6,8 +6,8 @@
 //! substitution's fidelity is measurable, and prints the query-topic
 //! statistics (paper: 3.5 distinct terms on average) alongside.
 
-use bench::{save_json, Scale};
 use bench::trec::trec_setup;
+use bench::{save_json, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,7 +20,10 @@ fn main() {
     let setup = trec_setup(&scale);
     let s = setup.corpus.vector_size_stats();
 
-    println!("\n{:>10} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}", "", "min", "5th", "50th", "95th", "max", "mean");
+    println!(
+        "\n{:>10} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+        "", "min", "5th", "50th", "95th", "max", "mean"
+    );
     println!(
         "{:>10} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8.1}",
         "ours", s.min, s.p5, s.p50, s.p95, s.max, s.mean

@@ -21,19 +21,24 @@
 //!   --rotate         apply the space-mapping rotation
 //!   --no-pns         plain Chord fingers (no proximity selection)
 //!   --explain        print a step-by-step trace of one query's resolution
+//!   --telemetry      after the sweep, print the run's telemetry summary,
+//!                    the recorded plan of query 0, and save the full
+//!                    snapshot under target/experiments/
 
+use bench::report::print_telemetry_summary;
 use bench::scale::Scale;
-use bench::synth::{run_synth, synth_setup, SynthRun};
+use bench::synth::{run_synth_system, synth_setup, SynthRun};
 use bench::{print_series, Row};
 use landmark::SelectionMethod;
 use simsearch::{LoadBalanceConfig, OverlayKind};
 
-fn parse_args() -> (Scale, SynthRun, Vec<f64>, bool) {
+fn parse_args() -> (Scale, SynthRun, Vec<f64>, bool, bool) {
     let mut scale = Scale::quick();
     scale.n_queries = 100;
     let mut run = SynthRun::new(SelectionMethod::KMeans, 10, None);
     let mut factors = vec![0.02, 0.05, 0.10];
     let mut explain = false;
+    let mut telemetry = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -71,6 +76,7 @@ fn parse_args() -> (Scale, SynthRun, Vec<f64>, bool) {
             "--rotate" => run.rotate = true,
             "--no-pns" => run.pns = 0,
             "--explain" => explain = true,
+            "--telemetry" => telemetry = true,
             "--help" | "-h" => {
                 println!("see the doc comment at the top of explore.rs for the knob list");
                 std::process::exit(0);
@@ -79,11 +85,11 @@ fn parse_args() -> (Scale, SynthRun, Vec<f64>, bool) {
         }
         i += 1;
     }
-    (scale, run, factors, explain)
+    (scale, run, factors, explain, telemetry)
 }
 
 fn main() {
-    let (scale, run, factors, explain) = parse_args();
+    let (scale, run, factors, explain, telemetry) = parse_args();
     println!(
         "explore: {} nodes, {} objects, {} queries/factor, {}-{} landmarks, overlay {:?}{}{}{}",
         scale.n_nodes,
@@ -93,7 +99,9 @@ fn main() {
         run.k,
         run.overlay,
         if run.lb.is_some() { ", LB on" } else { "" },
-        run.naive.map(|l| format!(", naive L{l}")).unwrap_or_default(),
+        run.naive
+            .map(|l| format!(", naive L{l}"))
+            .unwrap_or_default(),
         if run.rotate { ", rotated" } else { "" },
     );
 
@@ -138,14 +146,17 @@ fn main() {
         let qm = mapper.map(setup.qpoints[0].as_slice());
         let radius = factors[0] * setup.dataset.max_distance();
         let report = system.explain(0, &qm, radius, 0);
-        println!("
+        println!(
+            "
 query 0 at range factor {:.2}%:
-{report}", factors[0] * 100.0);
+{report}",
+            factors[0] * 100.0
+        );
         return;
     }
 
     eprintln!("running ...");
-    let (rows, loads) = run_synth(&scale, &setup, &run, &factors);
+    let (rows, loads, system) = run_synth_system(&scale, &setup, &run, &factors);
 
     let all: Vec<Row> = rows;
     print_series("recall", &all, |r| r.recall);
@@ -161,4 +172,13 @@ query 0 at range factor {:.2}%:
         scale.n_objects,
         scale.n_nodes
     );
+
+    if telemetry {
+        if let Some(plan) = system.query_plan(0) {
+            println!("\n== recorded plan of query 0 ==\n{plan}");
+        }
+        let snapshot = system.telemetry_snapshot();
+        print_telemetry_summary(&snapshot);
+        bench::report::save_json("explore_telemetry", &snapshot);
+    }
 }

@@ -3,11 +3,11 @@
 use std::io::Write;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use serde_json::{ToJson, Value};
 
 /// One aggregated sweep point of an experiment series — the mean of the
 /// paper's §4.1 cost metrics over the queries at that point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Series label, e.g. `KMean-10`.
     pub label: String,
@@ -44,6 +44,22 @@ impl Row {
             result_bytes: os.iter().map(|o| o.result_bytes as f64).sum::<f64>() / n,
             query_msgs: os.iter().map(|o| o.query_msgs as f64).sum::<f64>() / n,
         }
+    }
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "label": self.label,
+            "range_factor": self.range_factor,
+            "recall": self.recall,
+            "hops": self.hops,
+            "response_ms": self.response_ms,
+            "max_latency_ms": self.max_latency_ms,
+            "query_bytes": self.query_bytes,
+            "result_bytes": self.result_bytes,
+            "query_msgs": self.query_msgs,
+        })
     }
 }
 
@@ -101,13 +117,53 @@ pub fn print_load_distribution(title: &str, series: &[(String, Vec<usize>)]) {
     }
 }
 
+/// Print the headline numbers of a telemetry snapshot (see
+/// [`simsearch::SearchSystem::telemetry_snapshot`]): network totals, the
+/// busiest counters, and a per-query one-liner each.
+pub fn print_telemetry_summary(snapshot: &Value) {
+    println!("\n== telemetry ==");
+    let net = &snapshot["net"];
+    println!(
+        "net: {} messages, {} bytes, {} events",
+        net["messages"].as_u64().unwrap_or(0),
+        net["bytes"].as_u64().unwrap_or(0),
+        net["events"].as_u64().unwrap_or(0),
+    );
+    if let Value::Object(counters) = &snapshot["registry"]["counters"] {
+        for (name, v) in counters {
+            if let Some(n) = v.as_u64() {
+                println!("  {name:<28} {n:>12}");
+            }
+        }
+    }
+    if let Value::Object(queries) = &snapshot["queries"] {
+        for (i, (qid, q)) in queries.iter().enumerate() {
+            if i == 10 {
+                println!("  ... {} more queries in the snapshot", queries.len() - 10);
+                break;
+            }
+            println!(
+                "  query {}: {} hops, {} splits, {} answers, {}+{} bytes, \
+                 scanned {} matched {}",
+                qid.parse::<u64>().unwrap_or(0),
+                q["hops"].as_u64().unwrap_or(0),
+                q["splits"].as_u64().unwrap_or(0),
+                q["answers"].as_u64().unwrap_or(0),
+                q["query_bytes"].as_u64().unwrap_or(0),
+                q["result_bytes"].as_u64().unwrap_or(0),
+                q["scanned"].as_u64().unwrap_or(0),
+                q["matched"].as_u64().unwrap_or(0),
+            );
+        }
+    }
+}
+
 /// Persist rows as JSON under `target/experiments/<name>.json` so
 /// EXPERIMENTS.md entries are regenerable.
-pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+pub fn save_json<T: ToJson + ?Sized>(name: &str, value: &T) -> PathBuf {
     // Anchor at the workspace target dir regardless of the bench's cwd.
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        format!("{}/../../target", env!("CARGO_MANIFEST_DIR"))
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
     let dir = PathBuf::from(target).join("experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     let path = dir.join(format!("{name}.json"));

@@ -64,7 +64,10 @@ impl Scale {
     /// Resolve from the environment: `SIMSEARCH_FULL=1` selects the
     /// paper scale, `SIMSEARCH_SEED` overrides the seed.
     pub fn from_env() -> Scale {
-        let mut s = if std::env::var("SIMSEARCH_FULL").map(|v| v == "1").unwrap_or(false) {
+        let mut s = if std::env::var("SIMSEARCH_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale::paper()
         } else {
             Scale::quick()

@@ -132,13 +132,25 @@ pub fn select_landmarks(
 }
 
 /// Build the system for one configuration and run the query-range sweep.
-/// Returns `(series rows, load distribution, outcomes per factor)`.
+/// Returns `(series rows, load distribution)`.
 pub fn run_synth(
     scale: &Scale,
     setup: &SynthSetup,
     run: &SynthRun,
     factors: &[f64],
 ) -> (Vec<Row>, Vec<usize>) {
+    let (rows, loads, _system) = run_synth_system(scale, setup, run, factors);
+    (rows, loads)
+}
+
+/// [`run_synth`], additionally returning the finished system so callers
+/// can inspect run telemetry (snapshot, per-query plans).
+pub fn run_synth_system(
+    scale: &Scale,
+    setup: &SynthSetup,
+    run: &SynthRun,
+    factors: &[f64],
+) -> (Vec<Row>, Vec<usize>, SearchSystem) {
     let landmarks = select_landmarks(setup, run.method, run.k, scale);
     let metric = L2::bounded(100, 0.0, 100.0);
     let mapper = Mapper::new(metric, landmarks);
@@ -200,7 +212,8 @@ pub fn run_synth(
     let outcomes = system.run_queries(&queries, 150.0);
 
     let rows = group_rows(&run.label(), factors, nq, &outcomes);
-    (rows, system.load_distribution(0))
+    let loads = system.load_distribution(0);
+    (rows, loads, system)
 }
 
 /// Aggregate flat outcomes back into per-factor rows.
@@ -261,7 +274,13 @@ mod tests {
 
     #[test]
     fn greedy_and_kmeans_labels() {
-        assert_eq!(SynthRun::new(SelectionMethod::Greedy, 10, None).label(), "Greedy-10");
-        assert_eq!(SynthRun::new(SelectionMethod::KMeans, 5, None).label(), "KMean-5");
+        assert_eq!(
+            SynthRun::new(SelectionMethod::Greedy, 10, None).label(),
+            "Greedy-10"
+        );
+        assert_eq!(
+            SynthRun::new(SelectionMethod::KMeans, 5, None).label(),
+            "KMean-5"
+        );
     }
 }

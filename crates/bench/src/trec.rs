@@ -67,7 +67,10 @@ pub fn select_doc_landmarks(
     scale: &Scale,
 ) -> Vec<SparseVector> {
     let mut rng = SimRng::new(scale.seed).fork(0x7EC5E1 ^ k as u64);
-    let idx = rng.sample_indices(setup.corpus.docs.len(), scale.sample.min(setup.corpus.docs.len()));
+    let idx = rng.sample_indices(
+        setup.corpus.docs.len(),
+        scale.sample.min(setup.corpus.docs.len()),
+    );
     let sample: Vec<SparseVector> = idx.iter().map(|&i| setup.corpus.docs[i].clone()).collect();
     let metric = Angular::new();
     match method {
@@ -75,9 +78,13 @@ pub fn select_doc_landmarks(
         SelectionMethod::KMeans => {
             kmeans::<_, SparseVector, _>(&metric, &sample, k, scale.kmeans_iters, &mut rng)
         }
-        SelectionMethod::KMedoids => {
-            landmark::kmedoids::<_, SparseVector, _>(&metric, &sample, k, scale.kmeans_iters, &mut rng)
-        }
+        SelectionMethod::KMedoids => landmark::kmedoids::<_, SparseVector, _>(
+            &metric,
+            &sample,
+            k,
+            scale.kmeans_iters,
+            &mut rng,
+        ),
     }
 }
 
@@ -119,7 +126,10 @@ impl DenseLandmark {
 /// Map every document to its landmark-distance point (parallel; dense
 /// landmark arrays make one mapping O(nnz(doc) · k)).
 pub fn map_docs(docs: &[SparseVector], landmarks: &[SparseVector], vocab: usize) -> Vec<Vec<f64>> {
-    let dense: Vec<DenseLandmark> = landmarks.iter().map(|l| DenseLandmark::new(l, vocab)).collect();
+    let dense: Vec<DenseLandmark> = landmarks
+        .iter()
+        .map(|l| DenseLandmark::new(l, vocab))
+        .collect();
     docs.par_iter()
         .map(|d| dense.iter().map(|l| l.angle(d)).collect())
         .collect()
@@ -145,7 +155,10 @@ pub fn run_trec(
     // 2): min/max mapped coordinates of the selection sample, with a
     // small margin; out-of-range points clamp onto the boundary.
     let mut rng = SimRng::new(scale.seed).fork(0xB0);
-    let idx = rng.sample_indices(setup.corpus.docs.len(), scale.sample.min(setup.corpus.docs.len()));
+    let idx = rng.sample_indices(
+        setup.corpus.docs.len(),
+        scale.sample.min(setup.corpus.docs.len()),
+    );
     let sample: Vec<SparseVector> = idx.iter().map(|&i| setup.corpus.docs[i].clone()).collect();
     let mapper = Mapper::new(Angular::new(), landmarks.clone());
     let boundary = boundary_from_sample::<_, SparseVector, _>(&mapper, &sample, 0.01);

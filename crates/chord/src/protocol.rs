@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use simnet::telemetry::SharedRegistry;
 use simnet::{Agent, AgentId, Ctx, SimDuration, SimTime, TimerTag};
 
 use crate::id::{ChordId, NodeRef};
@@ -61,8 +62,12 @@ pub enum ChordMsg {
     },
     /// Stabilization probe.
     GetPredecessor,
-    /// Stabilization answer.
+    /// Stabilization answer. `node` is the responder's *current*
+    /// identity: after a leave/rejoin migration the same host answers
+    /// under a new identifier, and the prober must notice and scrub its
+    /// stale table entry.
     PredecessorReply {
+        node: NodeRef,
         pred: Option<NodeRef>,
         successors: Vec<NodeRef>,
     },
@@ -74,8 +79,9 @@ pub enum ChordMsg {
     StartLookup { key: ChordId },
     /// Liveness probe.
     Ping { nonce: u64 },
-    /// Liveness answer.
-    Pong { nonce: u64 },
+    /// Liveness answer, carrying the responder's current identity (see
+    /// [`ChordMsg::PredecessorReply`] for why the id must be echoed).
+    Pong { nonce: u64, node: NodeRef },
     /// Control: injected to crash this node (it stops responding to
     /// everything; the rest of the ring must detect and route around it).
     Fail,
@@ -103,6 +109,27 @@ pub enum ChordMsg {
     },
 }
 
+impl ChordMsg {
+    /// Stable short name, used as the telemetry counter suffix.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ChordMsg::FindSuccessor { .. } => "find_successor",
+            ChordMsg::FoundSuccessor { .. } => "found_successor",
+            ChordMsg::GetPredecessor => "get_predecessor",
+            ChordMsg::PredecessorReply { .. } => "predecessor_reply",
+            ChordMsg::Notify { .. } => "notify",
+            ChordMsg::StartJoin { .. } => "start_join",
+            ChordMsg::StartLookup { .. } => "start_lookup",
+            ChordMsg::Ping { .. } => "ping",
+            ChordMsg::Pong { .. } => "pong",
+            ChordMsg::Fail => "fail",
+            ChordMsg::Leave => "leave",
+            ChordMsg::Departing { .. } => "departing",
+            ChordMsg::Rejoin { .. } => "rejoin",
+        }
+    }
+}
+
 /// Modelled wire size of a message: 20-byte header plus payload (ids are
 /// 8 bytes, node references 12).
 pub fn msg_bytes(msg: &ChordMsg) -> u32 {
@@ -114,9 +141,12 @@ pub fn msg_bytes(msg: &ChordMsg) -> u32 {
             HDR + REF + 8 + 4 + REF * candidates.len() as u32
         }
         ChordMsg::GetPredecessor => HDR,
-        ChordMsg::PredecessorReply { successors, .. } => HDR + REF + REF * successors.len() as u32,
+        ChordMsg::PredecessorReply { successors, .. } => {
+            HDR + 2 * REF + REF * successors.len() as u32
+        }
         ChordMsg::Notify { .. } => HDR + REF,
-        ChordMsg::Ping { .. } | ChordMsg::Pong { .. } => HDR + 8,
+        ChordMsg::Ping { .. } => HDR + 8,
+        ChordMsg::Pong { .. } => HDR + 8 + REF,
         ChordMsg::Departing { .. } => HDR + 2 * REF,
         ChordMsg::StartJoin { .. }
         | ChordMsg::StartLookup { .. }
@@ -132,6 +162,13 @@ const FAILCHECK: TimerTag = TimerTag(3);
 
 /// User-lookup retry attempts before giving up.
 const LOOKUP_RETRIES: u32 = 4;
+
+/// Forwarding cap: a `FindSuccessor` that exceeds this many hops is
+/// dropped. A healthy ring resolves any key in O(log n) hops; a request
+/// this old is circling through inconsistent tables (e.g. mid-migration)
+/// and must not live forever — the origin's retry machinery re-issues it
+/// once the ring has healed.
+const MAX_LOOKUP_HOPS: u32 = 2 * FINGER_ROWS as u32;
 
 /// A completed lookup, recorded at the origin (test/ablation output).
 #[derive(Clone, Copy, Debug)]
@@ -172,12 +209,18 @@ pub struct ChordAgent {
     pub lookups: Vec<LookupResult>,
     /// Lookups abandoned after every retry failed.
     pub failed_lookups: Vec<ChordId>,
-    /// (probed node, nonce) of the outstanding liveness probe.
-    outstanding_ping: Option<(NodeRef, u64)>,
-    /// Successor awaiting a PredecessorReply since the last stabilize.
-    awaiting_stab: Option<NodeRef>,
+    /// (probed node, nonce, sent-at) of the outstanding liveness probe.
+    /// The probe must stay unanswered for [`ChordAgent::reply_timeout`]
+    /// before the target is declared dead — a WAN round trip can
+    /// legitimately exceed one maintenance period.
+    outstanding_ping: Option<(NodeRef, u64, SimTime)>,
+    /// (successor, first-probe-at) awaiting a PredecessorReply.
+    awaiting_stab: Option<(NodeRef, SimTime)>,
     /// Round-robin cursor over ping targets.
     ping_cursor: usize,
+    /// Shared metrics registry: per-kind message/byte counters and the
+    /// lookup hop histogram. `None` disables instrumentation.
+    telemetry: Option<SharedRegistry>,
 }
 
 impl ChordAgent {
@@ -196,6 +239,7 @@ impl ChordAgent {
             outstanding_ping: None,
             awaiting_stab: None,
             ping_cursor: 0,
+            telemetry: None,
         }
     }
 
@@ -204,12 +248,28 @@ impl ChordAgent {
         self.joined
     }
 
+    /// Attach a shared metrics registry. Every message this node sends is
+    /// counted per kind (`chord.msgs.<kind>`, `chord.bytes`) and every
+    /// completed user lookup feeds the `chord.lookup_hops` histogram.
+    pub fn attach_telemetry(&mut self, registry: SharedRegistry) {
+        self.telemetry = Some(registry);
+    }
+
     fn me(&self) -> NodeRef {
         self.table.me()
     }
 
+    fn count_msg(&self, msg: &ChordMsg, bytes: u32) {
+        if let Some(reg) = &self.telemetry {
+            let mut reg = reg.lock().expect("telemetry lock");
+            reg.incr(&format!("chord.msgs.{}", msg.kind()), 1);
+            reg.incr("chord.bytes", bytes as u64);
+        }
+    }
+
     fn send(&self, ctx: &mut Ctx<'_, ChordMsg>, to: NodeRef, msg: ChordMsg) {
         let bytes = msg_bytes(&msg);
+        self.count_msg(&msg, bytes);
         ctx.send(to.addr, msg, bytes);
     }
 
@@ -252,6 +312,9 @@ impl ChordAgent {
     ) {
         if !self.joined {
             return; // mid-join node: drop, the origin's next try re-routes
+        }
+        if hops > MAX_LOOKUP_HOPS {
+            return; // circling through inconsistent tables: drop
         }
         // A freshly-joined node that has not yet learnt its predecessor
         // must not claim ownership of anything (RoutingTable::owns treats
@@ -337,6 +400,11 @@ impl ChordAgent {
                 self.table.set_finger(row, Some(chosen));
             }
             Pending::UserLookup { key, started, .. } => {
+                if let Some(reg) = &self.telemetry {
+                    let mut reg = reg.lock().expect("telemetry lock");
+                    reg.incr("chord.lookups", 1);
+                    reg.observe("chord.lookup_hops", hops as u64);
+                }
                 self.lookups.push(LookupResult {
                     key,
                     owner,
@@ -347,36 +415,59 @@ impl ChordAgent {
         }
     }
 
+    /// How long an unanswered probe is tolerated before its target is
+    /// declared dead. Several periods, not one: a single slow round trip
+    /// must not kill a healthy neighbor (heavy-tailed WAN latencies can
+    /// exceed the maintenance period outright).
+    fn reply_timeout(&self) -> SimDuration {
+        SimDuration(self.cfg.stabilize_every.0 * 4)
+    }
+
     fn stabilize(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
-        // The probe sent last tick went unanswered: the successor is
-        // dead — scrub it and fail over to the next list entry.
-        if let Some(dead) = self.awaiting_stab.take() {
-            if self.table.successor() == Some(dead) {
-                self.table.remove(dead);
+        let now = ctx.now();
+        // A probe from an earlier tick is still unanswered: once it has
+        // aged past the reply timeout the successor is dead — scrub it
+        // and fail over to the next list entry.
+        if let Some((suspect, since)) = self.awaiting_stab {
+            if self.table.successor() != Some(suspect) {
+                self.awaiting_stab = None; // failed over some other way
+            } else if now.since(since) >= self.reply_timeout() {
+                self.table.remove(suspect);
+                self.awaiting_stab = None;
             }
         }
         if let Some(succ) = self.table.successor() {
             self.send(ctx, succ, ChordMsg::GetPredecessor);
-            self.awaiting_stab = Some(succ);
+            if self.awaiting_stab.is_none() {
+                self.awaiting_stab = Some((succ, now));
+            }
         }
     }
 
     /// Liveness maintenance: ping one known node per tick (round-robin
-    /// over the table, predecessor included); a probe unanswered by the
-    /// next tick removes the node from every table slot. Also garbage-
-    /// collects and retries stale pending lookups.
+    /// over the table, predecessor included); a probe unanswered for
+    /// [`Self::reply_timeout`] removes the node from every table slot.
+    /// Also garbage-collects and retries stale pending lookups.
     fn failure_check(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
-        if let Some((suspect, _)) = self.outstanding_ping.take() {
-            self.table.remove(suspect);
+        let now = ctx.now();
+        if let Some((suspect, _, sent)) = self.outstanding_ping {
+            if now.since(sent) >= self.reply_timeout() {
+                self.table.remove(suspect);
+                self.outstanding_ping = None;
+            }
         }
-        let known = self.table.known_nodes();
-        if !known.is_empty() {
-            let target = known[self.ping_cursor % known.len()];
-            self.ping_cursor = self.ping_cursor.wrapping_add(1);
-            let nonce = self.next_req;
-            self.next_req += 1;
-            self.outstanding_ping = Some((target, nonce));
-            self.send(ctx, target, ChordMsg::Ping { nonce });
+        // One probe in flight at a time: the next target is pinged once
+        // the current probe is answered or times out.
+        if self.outstanding_ping.is_none() {
+            let known = self.table.known_nodes();
+            if !known.is_empty() {
+                let target = known[self.ping_cursor % known.len()];
+                self.ping_cursor = self.ping_cursor.wrapping_add(1);
+                let nonce = self.next_req;
+                self.next_req += 1;
+                self.outstanding_ping = Some((target, nonce, now));
+                self.send(ctx, target, ChordMsg::Ping { nonce });
+            }
         }
         // Retry or abandon user lookups that never completed (their path
         // crossed a dead node); drop stale finger repairs (the cycle
@@ -404,6 +495,11 @@ impl ChordAgent {
                 continue;
             };
             if attempt + 1 >= LOOKUP_RETRIES {
+                if let Some(reg) = &self.telemetry {
+                    reg.lock()
+                        .expect("telemetry lock")
+                        .incr("chord.failed_lookups", 1);
+                }
                 self.failed_lookups.push(key);
             } else {
                 self.issue_lookup(
@@ -424,10 +520,11 @@ impl ChordAgent {
         &mut self,
         ctx: &mut Ctx<'_, ChordMsg>,
         from: AgentId,
+        node: NodeRef,
         pred: Option<NodeRef>,
         successors: Vec<NodeRef>,
     ) {
-        if self.awaiting_stab.map(|n| n.addr) == Some(from) {
+        if self.awaiting_stab.map(|(n, _)| n.addr) == Some(from) {
             self.awaiting_stab = None;
         }
         let Some(succ) = self.table.successor() else {
@@ -435,6 +532,15 @@ impl ChordAgent {
         };
         if succ.addr != from {
             return; // stale reply from a node no longer our successor
+        }
+        if succ.id != node.id {
+            // The host we probed now carries a different identifier
+            // (leave/rejoin migration): our successor entry is a ghost.
+            // Scrub it everywhere and adopt the live identity; the next
+            // stabilize round sorts out the ordering.
+            self.table.remove(succ);
+            self.table.add_successor(node);
+            return;
         }
         if let Some(p) = pred {
             if p.id.in_open(self.me().id, succ.id) {
@@ -488,14 +594,20 @@ impl Agent for ChordAgent {
             }
             ChordMsg::GetPredecessor => {
                 let reply = ChordMsg::PredecessorReply {
+                    node: self.me(),
                     pred: self.table.predecessor(),
                     successors: self.table.successors().to_vec(),
                 };
                 let bytes = msg_bytes(&reply);
+                self.count_msg(&reply, bytes);
                 ctx.send(from, reply, bytes);
             }
-            ChordMsg::PredecessorReply { pred, successors } => {
-                self.on_predecessor_reply(ctx, from, pred, successors);
+            ChordMsg::PredecessorReply {
+                node,
+                pred,
+                successors,
+            } => {
+                self.on_predecessor_reply(ctx, from, node, pred, successors);
             }
             ChordMsg::Notify { node } => {
                 let adopt = match self.table.predecessor() {
@@ -547,14 +659,32 @@ impl Agent for ChordAgent {
                     },
                 );
             }
+            ChordMsg::Ping { .. } if !self.joined => {
+                // Departed (or still joining): stay silent so peers'
+                // failure detection scrubs whatever identity this host
+                // used to carry. Answering here would keep a stale
+                // reference alive across a leave/rejoin migration.
+            }
             ChordMsg::Ping { nonce } => {
-                let pong = ChordMsg::Pong { nonce };
+                let pong = ChordMsg::Pong {
+                    nonce,
+                    node: self.me(),
+                };
                 let bytes = msg_bytes(&pong);
+                self.count_msg(&pong, bytes);
                 ctx.send(from, pong, bytes);
             }
-            ChordMsg::Pong { nonce } => {
-                if self.outstanding_ping.map(|(_, n)| n) == Some(nonce) {
-                    self.outstanding_ping = None;
+            ChordMsg::Pong { nonce, node } => {
+                if let Some((target, n, _)) = self.outstanding_ping {
+                    if n == nonce {
+                        self.outstanding_ping = None;
+                        if node.id != target.id {
+                            // The host is alive but answers under a new
+                            // identifier (leave/rejoin migration): the
+                            // probed reference is a ghost — scrub it.
+                            self.table.remove(target);
+                        }
+                    }
                 }
             }
             ChordMsg::Fail => {

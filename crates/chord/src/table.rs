@@ -65,9 +65,10 @@ impl RoutingTable {
         self.predecessor
     }
 
-    /// Set the predecessor.
+    /// Set the predecessor. A reference carrying this node's own address
+    /// (under any identifier) is rejected — see [`Self::add_successor`].
     pub fn set_predecessor(&mut self, pred: Option<NodeRef>) {
-        self.predecessor = pred;
+        self.predecessor = pred.filter(|p| p.addr != self.me.addr);
     }
 
     /// Finger `i` (row `i` targets `me + 2^i`).
@@ -77,13 +78,19 @@ impl RoutingTable {
 
     /// Install finger `i`.
     pub fn set_finger(&mut self, i: usize, node: Option<NodeRef>) {
-        self.fingers[i] = node.filter(|n| n.id != self.me.id);
+        self.fingers[i] = node.filter(|n| n.id != self.me.id && n.addr != self.me.addr);
     }
 
     /// Insert a successor, keeping the list sorted by clockwise distance
     /// from `me`, deduplicated, and capped at the configured length.
+    ///
+    /// A reference with this node's own address is rejected even when its
+    /// identifier differs: after a leave/rejoin migration the host keeps
+    /// its address but changes id, and peers may still hand back the
+    /// stale identity. Admitting it would make `closest_preceding` route
+    /// a key to ourselves — a zero-delay self-send loop.
     pub fn add_successor(&mut self, node: NodeRef) {
-        if node.id == self.me.id {
+        if node.id == self.me.id || node.addr == self.me.addr {
             return;
         }
         let key = self.me.id.cw_dist(node.id);
@@ -293,6 +300,21 @@ mod tests {
         let known = t.known_nodes();
         let ids: Vec<u64> = known.iter().map(|n| n.id.0).collect();
         assert_eq!(ids, vec![200, 400]);
+    }
+
+    #[test]
+    fn stale_self_reference_under_old_id_is_rejected() {
+        // After a leave/rejoin migration the host keeps its address but
+        // changes id; peers may still hand back the old identity. It must
+        // never enter the table, or routing would forward to ourselves.
+        let mut t = RoutingTable::new(NodeRef::new(500, 5), DEFAULT_SUCCESSORS);
+        let ghost = NodeRef::new(100, 5); // same address, stale id
+        t.add_successor(ghost);
+        assert!(t.successors().is_empty());
+        t.set_finger(0, Some(ghost));
+        assert!(t.finger(0).is_none());
+        t.set_predecessor(Some(ghost));
+        assert!(t.predecessor().is_none());
     }
 
     #[test]

@@ -210,7 +210,12 @@ fn leave_and_rejoin_with_chosen_id_converges() {
     // Pick a mover and a target id: the midpoint of the widest gap
     // between two other nodes (guaranteed unoccupied).
     let mover = 5usize;
-    let mover_old = ring.nodes().iter().find(|nd| nd.addr.0 == mover).unwrap().id;
+    let mover_old = ring
+        .nodes()
+        .iter()
+        .find(|nd| nd.addr.0 == mover)
+        .unwrap()
+        .id;
     let mut widest = (0u64, 0u64);
     for (i, nd) in ring.nodes().iter().enumerate() {
         let next = ring.next_of(i);

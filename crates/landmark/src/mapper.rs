@@ -110,10 +110,7 @@ mod tests {
                     .map(|(x, y)| (x - y).abs())
                     .fold(0.0, f64::max);
                 let true_d = L2::new().distance(a, b);
-                assert!(
-                    linf <= true_d + 1e-9,
-                    "mapping expanded: {linf} > {true_d}"
-                );
+                assert!(linf <= true_d + 1e-9, "mapping expanded: {linf} > {true_d}");
             }
         }
     }

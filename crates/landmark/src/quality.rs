@@ -48,7 +48,9 @@ where
         if i == j {
             continue;
         }
-        let d = mapper.metric().distance(sample[i].borrow(), sample[j].borrow());
+        let d = mapper
+            .metric()
+            .distance(sample[i].borrow(), sample[j].borrow());
         if d <= 0.0 {
             continue; // duplicate objects carry no signal
         }
@@ -117,7 +119,10 @@ mod tests {
         let sample = clustered_sample(300, 1);
         let metric = L2::new();
         let mut rng = SimRng::new(2);
-        let good = Mapper::new(metric, kmeans::<_, [f32], _>(&metric, &sample, 3, 10, &mut rng));
+        let good = Mapper::new(
+            metric,
+            kmeans::<_, [f32], _>(&metric, &sample, 3, 10, &mut rng),
+        );
         // Degenerate: three copies of (almost) the same landmark — its
         // coordinates are redundant, so the L∞ bound is loose.
         let bad = Mapper::new(
@@ -156,7 +161,10 @@ mod tests {
         let sample = clustered_sample(300, 6);
         let metric = L2::new();
         let mut rng = SimRng::new(7);
-        let good = Mapper::new(metric, kmeans::<_, [f32], _>(&metric, &sample, 3, 10, &mut rng));
+        let good = Mapper::new(
+            metric,
+            kmeans::<_, [f32], _>(&metric, &sample, 3, 10, &mut rng),
+        );
         let bad = Mapper::new(metric, vec![vec![500.0f32, 500.0], vec![500.5, 500.0]]);
         let mut r = SimRng::new(8);
         assert!(should_refresh::<_, [f32], _>(

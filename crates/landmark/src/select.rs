@@ -68,16 +68,17 @@ where
         .collect();
     while chosen_idx.len() < k {
         // argmax of min_d, deterministic tie-break by index.
-        let (best, _) = min_d
-            .iter()
-            .enumerate()
-            .fold((0usize, f64::NEG_INFINITY), |(bi, bd), (i, &d)| {
-                if d > bd {
-                    (i, d)
-                } else {
-                    (bi, bd)
-                }
-            });
+        let (best, _) =
+            min_d
+                .iter()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |(bi, bd), (i, &d)| {
+                    if d > bd {
+                        (i, d)
+                    } else {
+                        (bi, bd)
+                    }
+                });
         chosen_idx.push(best);
         for (i, s) in sample.iter().enumerate() {
             let d = metric.distance(s.borrow(), sample[best].borrow());
@@ -124,10 +125,8 @@ impl Centroid for metric::SparseVector {
             }
         }
         let n = members.len() as f64;
-        let mut pairs: Vec<(u32, f32)> = acc
-            .into_iter()
-            .map(|(t, w)| (t, (w / n) as f32))
-            .collect();
+        let mut pairs: Vec<(u32, f32)> =
+            acc.into_iter().map(|(t, w)| (t, (w / n) as f32)).collect();
         // Standard text-clustering centroid pruning: keep the heaviest
         // terms so k-means iterations stay O(pruned) per distance. The
         // retained mass dominates the angle; 4096 terms is far denser
@@ -256,16 +255,17 @@ where
             .map(|s| metric.distance(s.borrow(), sample[first].borrow()))
             .collect();
         while chosen.len() < k {
-            let (best, _) = min_d
-                .iter()
-                .enumerate()
-                .fold((0usize, f64::NEG_INFINITY), |(bi, bd), (i, &d)| {
-                    if d > bd {
-                        (i, d)
-                    } else {
-                        (bi, bd)
-                    }
-                });
+            let (best, _) =
+                min_d
+                    .iter()
+                    .enumerate()
+                    .fold((0usize, f64::NEG_INFINITY), |(bi, bd), (i, &d)| {
+                        if d > bd {
+                            (i, d)
+                        } else {
+                            (bi, bd)
+                        }
+                    });
             chosen.push(best);
             for (i, s) in sample.iter().enumerate() {
                 let d = metric.distance(s.borrow(), sample[best].borrow());
@@ -415,9 +415,11 @@ mod tests {
     fn sparse_centroid_is_denser_than_members() {
         // The paper's TREC observation: centroids of sparse documents
         // have more terms than any member.
-        let docs = [SparseVector::new(vec![(1, 1.0), (2, 1.0)]),
+        let docs = [
+            SparseVector::new(vec![(1, 1.0), (2, 1.0)]),
             SparseVector::new(vec![(3, 1.0), (4, 1.0)]),
-            SparseVector::new(vec![(5, 1.0), (1, 1.0)])];
+            SparseVector::new(vec![(5, 1.0), (1, 1.0)]),
+        ];
         let refs: Vec<&SparseVector> = docs.iter().collect();
         let c = SparseVector::centroid(&refs);
         assert_eq!(c.nnz(), 5);

@@ -68,9 +68,9 @@ proptest! {
         let boundary = boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.0);
         for s in &sample {
             let p = mapper.map(s.as_slice());
-            for d in 0..boundary.k() {
-                prop_assert!(p[d] >= boundary.dims[d].0 - 1e-12);
-                prop_assert!(p[d] <= boundary.dims[d].1 + 1e-12);
+            for (v, (lo, hi)) in p.iter().zip(&boundary.dims) {
+                prop_assert!(*v >= lo - 1e-12);
+                prop_assert!(*v <= hi + 1e-12);
             }
         }
     }

@@ -461,7 +461,10 @@ mod tests {
         let mut total = 0;
         for xi in 0..40 {
             for yi in 0..40 {
-                let p = [1.0 + 5.5 * (xi as f64 + 0.5) / 40.0, 1.0 + 2.0 * (yi as f64 + 0.5) / 40.0];
+                let p = [
+                    1.0 + 5.5 * (xi as f64 + 0.5) / 40.0,
+                    1.0 + 2.0 * (yi as f64 + 0.5) / 40.0,
+                ];
                 total += 1;
                 if parts.iter().any(|q| q.rect.contains_point(&p)) {
                     covered += 1;

@@ -282,10 +282,7 @@ mod tests {
         let mut pairs = Vec::new();
         for x in 0..8u32 {
             for y in 0..8u32 {
-                let center = [
-                    (x as f64 + 0.5) / 8.0,
-                    (y as f64 + 0.5) / 8.0,
-                ];
+                let center = [(x as f64 + 0.5) / 8.0, (y as f64 + 0.5) / 8.0];
                 pairs.push((g.morton_rank_of_cell(&[x, y]), kd.hash(&center)));
             }
         }
@@ -340,7 +337,9 @@ mod tests {
     fn runs_cap_respected() {
         let g = grid2(10); // 1024x1024
         let rect = Rect::new(vec![0.0, 0.0], vec![0.9, 0.9]);
-        assert!(g.runs_for_rect(&rect, |c| g.rank_of_cell(c), 1000).is_none());
+        assert!(g
+            .runs_for_rect(&rect, |c| g.rank_of_cell(c), 1000)
+            .is_none());
     }
 
     #[test]

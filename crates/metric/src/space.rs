@@ -72,7 +72,9 @@ pub fn check_axioms<T: ?Sized, M: Metric<T>>(
     let dxz = metric.distance(x, z);
     let dxx = metric.distance(x, x);
     if dxy < 0.0 || dyz < 0.0 || dxz < 0.0 {
-        return Err(format!("negative distance: d(x,y)={dxy} d(y,z)={dyz} d(x,z)={dxz}"));
+        return Err(format!(
+            "negative distance: d(x,y)={dxy} d(y,z)={dyz} d(x,z)={dxz}"
+        ));
     }
     if dxx.abs() > tol {
         return Err(format!("d(x,x) = {dxx} != 0"));

@@ -73,10 +73,7 @@ impl L1 {
 impl Metric<[f32]> for L1 {
     fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
         assert_eq!(a.len(), b.len(), "dimension mismatch");
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| ((*x - *y) as f64).abs())
-            .sum()
+        a.iter().zip(b).map(|(x, y)| ((*x - *y) as f64).abs()).sum()
     }
     fn upper_bound(&self) -> Option<f64> {
         self.bound

@@ -22,8 +22,9 @@ fn string_strategy() -> impl Strategy<Value = String> {
 }
 
 fn pointset_strategy() -> impl Strategy<Value = metric::hausdorff::PointSet> {
-    prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 1..8)
-        .prop_map(|pts| metric::hausdorff::PointSet::new(pts.into_iter().map(|(x, y)| [x, y]).collect()))
+    prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 1..8).prop_map(|pts| {
+        metric::hausdorff::PointSet::new(pts.into_iter().map(|(x, y)| [x, y]).collect())
+    })
 }
 
 proptest! {

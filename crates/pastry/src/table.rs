@@ -250,7 +250,10 @@ mod tests {
             let t = &tables[node.addr.0];
             assert_eq!(t.predecessor().unwrap(), ring.prev_of(i));
             assert_eq!(t.successor().unwrap(), ring.next_of(i));
-            assert_eq!(t.known_nodes().iter().filter(|n| n.id == node.id).count(), 0);
+            assert_eq!(
+                t.known_nodes().iter().filter(|n| n.id == node.id).count(),
+                0
+            );
         }
     }
 
@@ -340,7 +343,11 @@ mod tests {
             let owner = ring.owner_of(key);
             for node in ring.nodes() {
                 let t = &tables[node.addr.0];
-                assert_eq!(t.owns(key), node.id == owner.id, "key {key:?} node {node:?}");
+                assert_eq!(
+                    t.owns(key),
+                    node.id == owner.id,
+                    "key {key:?} node {node:?}"
+                );
             }
         }
     }

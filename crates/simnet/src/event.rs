@@ -119,9 +119,21 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime(30), AgentId(0), EventKind::Timer { tag: TimerTag(0) });
-        q.push(SimTime(10), AgentId(0), EventKind::Timer { tag: TimerTag(1) });
-        q.push(SimTime(20), AgentId(0), EventKind::Timer { tag: TimerTag(2) });
+        q.push(
+            SimTime(30),
+            AgentId(0),
+            EventKind::Timer { tag: TimerTag(0) },
+        );
+        q.push(
+            SimTime(10),
+            AgentId(0),
+            EventKind::Timer { tag: TimerTag(1) },
+        );
+        q.push(
+            SimTime(20),
+            AgentId(0),
+            EventKind::Timer { tag: TimerTag(2) },
+        );
         let order = drain_order(&mut q);
         assert_eq!(
             order.iter().map(|&(t, _)| t).collect::<Vec<_>>(),

@@ -10,7 +10,9 @@
 //! * a population of message-driven agents (one per simulated host),
 //! * per-pair propagation delays drawn from a latency matrix
 //!   ([`topology::Topology`]) that substitutes for the King dataset,
-//! * per-message byte accounting so experiments can report bandwidth cost.
+//! * per-message byte accounting so experiments can report bandwidth cost,
+//! * a deterministic metrics registry ([`telemetry`]) for counters and
+//!   histograms that higher layers hang their instrumentation on.
 //!
 //! There is no modelled queueing or processing delay: like p2psim's default
 //! packet-level model, a message sent at time `t` from `a` to `b` is
@@ -54,6 +56,7 @@ pub mod event;
 pub mod rng;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod topology;
 
@@ -61,5 +64,6 @@ pub use event::TimerTag;
 pub use rng::SimRng;
 pub use sim::{Agent, AgentId, Ctx, Sim};
 pub use stats::NetStats;
+pub use telemetry::{Histogram, Registry, SharedRegistry};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;

@@ -196,6 +196,9 @@ mod tests {
 
     #[test]
     fn div_duration() {
-        assert_eq!(SimDuration::from_millis(10).div_by(4), SimDuration(2_500_000));
+        assert_eq!(
+            SimDuration::from_millis(10).div_by(4),
+            SimDuration(2_500_000)
+        );
     }
 }

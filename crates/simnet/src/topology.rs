@@ -222,7 +222,10 @@ mod tests {
             .flat_map(|i| (0..32).map(move |j| (i, j)))
             .filter(|&(i, j)| i != j && a.rtt(i, j) != c.rtt(i, j))
             .count();
-        assert!(diffs > 900, "different seeds should give different matrices");
+        assert!(
+            diffs > 900,
+            "different seeds should give different matrices"
+        );
     }
 
     #[test]

@@ -165,12 +165,83 @@ impl SearchSystem {
                     }
                 }
             }
-            assert!(
-                report.messages < 100_000,
-                "explain runaway — routing bug"
-            );
+            assert!(report.messages < 100_000, "explain runaway — routing bug");
         }
         report
+    }
+
+    /// Render the *recorded* telemetry trace of a simulated query as a
+    /// human-readable query plan. Unlike [`SearchSystem::explain`], which
+    /// replays routing offline, this reports what actually happened on
+    /// the simulated wire — batching, shared paths and all. `None` when
+    /// the query id was never traced.
+    pub fn query_plan(&self, qid: QueryId) -> Option<String> {
+        use crate::telemetry::TraceEvent;
+        use std::fmt::Write;
+        let trace = self.telemetry().trace(qid)?;
+        let s = trace.summary();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "query {qid}: issued at node {}, {} answering nodes, max {} hops",
+            trace.origin, s.answers, s.hops
+        );
+        let _ = writeln!(
+            out,
+            "  {} splits ({} deferred on shared paths), {} refines, {} peels",
+            s.splits, s.shared_paths, s.refines, s.peels
+        );
+        let _ = writeln!(
+            out,
+            "  {} query bytes in {} messages, {} result bytes; \
+             scanned {}, matched {}, returned {}",
+            s.query_bytes,
+            s.forwards + s.handoffs,
+            s.result_bytes,
+            s.scanned,
+            s.matched,
+            s.returned
+        );
+        for e in &trace.events {
+            let line = match *e {
+                TraceEvent::Forward {
+                    from,
+                    to,
+                    subqueries,
+                    bytes,
+                } => {
+                    format!("forward node {from} -> node {to} ({subqueries} subqueries, {bytes} B)")
+                }
+                TraceEvent::Handoff { from, to, bytes } => {
+                    format!("handoff node {from} -> node {to} ({bytes} B)")
+                }
+                TraceEvent::SharedPath { at, prefix_len } => {
+                    format!("shared path at node {at} (prefix {prefix_len} bits)")
+                }
+                TraceEvent::Split { at, prefix_len } => {
+                    format!("split at node {at} (prefix {prefix_len} bits)")
+                }
+                TraceEvent::Refine { at, prefix_len } => {
+                    format!("refine at node {at} (prefix {prefix_len} bits)")
+                }
+                TraceEvent::Peel { at, prefix_len } => {
+                    format!("peel at node {at} (child prefix {prefix_len} bits)")
+                }
+                TraceEvent::Answer {
+                    at,
+                    hops,
+                    scanned,
+                    matched,
+                    returned,
+                    bytes,
+                } => format!(
+                    "ANSWER at node {at}: scanned {scanned}, matched {matched}, \
+                     returned {returned} (hop {hops}, {bytes} B)"
+                ),
+            };
+            let _ = writeln!(out, "    {line}");
+        }
+        Some(out)
     }
 
     /// The node that owns a given index-space point (diagnostics).
@@ -197,7 +268,7 @@ impl SearchSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::msg::{DistanceOracle, QueryDistance};
+    use crate::msg::DistanceOracle;
     use crate::system::{IndexSpec, QuerySpec, SystemConfig};
     use metric::ObjectId;
     use std::sync::Arc;
@@ -274,6 +345,14 @@ mod tests {
         // responses can exceed the distinct-node count).
         assert!(outcomes[0].responses as usize >= report.answering_nodes.len());
         assert_eq!(outcomes[0].hops, report.max_hops);
+        // The recorded trace renders as a query plan and agrees on hops.
+        let plan = system.query_plan(0).expect("query 0 was traced");
+        assert!(plan.contains("ANSWER"), "{plan}");
+        assert!(
+            plan.contains(&format!("max {} hops", outcomes[0].hops)),
+            "{plan}"
+        );
+        assert!(system.query_plan(999).is_none());
     }
 
     #[test]
@@ -282,7 +361,7 @@ mod tests {
         let owner = system.owner_of_point(0, &[10.0, 10.0]);
         assert!(owner.0 < 20);
         let p = system.enclosing_prefix_of(0, &[10.0, 10.0], 1.0);
-        assert!(p.len() > 0);
+        assert!(!p.is_empty());
         // A huge radius forces the root prefix.
         let root = system.enclosing_prefix_of(0, &[50.0, 50.0], 60.0);
         assert_eq!(root.len(), 0);

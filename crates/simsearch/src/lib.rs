@@ -21,7 +21,10 @@
 //!   publish entries, optionally balance load, inject a query workload,
 //!   run the simulation, and fold per-query metrics (hops, response
 //!   time, maximum latency, bandwidth, recall — §4.1's metric set);
-//! * [`stats`] — result aggregation helpers (percentiles, series).
+//! * [`stats`] — result aggregation helpers (percentiles, series);
+//! * [`telemetry`] — per-query traces (hop/split/refine/answer events)
+//!   plus the run-wide counter registry; serialized canonically so
+//!   identical seeds produce byte-identical snapshots (the CI gate).
 //!
 //! The crate is deliberately independent of any particular metric: the
 //! caller maps objects and queries into index-space points (see
@@ -41,6 +44,7 @@ pub mod routing;
 pub mod stats;
 pub mod store;
 pub mod system;
+pub mod telemetry;
 
 pub use explain::{ExplainReport, ExplainStep, StepKind};
 pub use knn::KnnOutcome;
@@ -48,8 +52,12 @@ pub use msg::{QueryDistance, QueryId, SearchMsg, SubQueryMsg};
 pub use node::SearchNode;
 pub use overlay::{Overlay, OverlayKind, OverlayTable};
 pub use refresh::ReindexReport;
-pub use routing::{route_subquery, surrogate_refine, Action};
-pub use store::{Entry, Store};
+pub use routing::{
+    route_subquery, route_subquery_traced, surrogate_refine, surrogate_refine_traced, Action,
+    RoutingEvent,
+};
+pub use store::{Entry, ScanStats, Store};
 pub use system::{
     IndexSpec, LoadBalanceConfig, QueryOutcome, QuerySpec, SearchSystem, SystemConfig,
 };
+pub use telemetry::{QuerySummary, QueryTrace, Telemetry, TraceEvent};

@@ -250,6 +250,31 @@ pub fn balance(
     pns_candidates: usize,
     rng: &mut SimRng,
 ) -> LoadBalanceReport {
+    balance_with_telemetry(
+        ring,
+        nodes,
+        cfg,
+        topo,
+        n_successors,
+        pns_candidates,
+        rng,
+        None,
+    )
+}
+
+/// [`balance`], additionally recording `lb.rounds`, `lb.migrations` and a
+/// per-round `lb.migrations_per_round` histogram into `registry`.
+#[allow(clippy::too_many_arguments)]
+pub fn balance_with_telemetry(
+    ring: &mut OracleRing,
+    nodes: &mut [SearchNode],
+    cfg: &LoadBalanceConfig,
+    topo: &Topology,
+    n_successors: usize,
+    pns_candidates: usize,
+    rng: &mut SimRng,
+    mut registry: Option<&mut simnet::Registry>,
+) -> LoadBalanceReport {
     let mut report = LoadBalanceReport::default();
     let before: usize = nodes.iter().map(|n| n.load()).sum();
     for _round in 0..cfg.max_rounds {
@@ -272,8 +297,7 @@ pub fn balance(
                 continue;
             }
             let probes = probe_set(nodes, h, cfg.probe_level);
-            let candidates: Vec<usize> =
-                probes.into_iter().filter(|&a| !migrated[a]).collect();
+            let candidates: Vec<usize> = probes.into_iter().filter(|&a| !migrated[a]).collect();
             if candidates.is_empty() {
                 continue;
             }
@@ -330,10 +354,17 @@ pub fn balance(
             let _ = rng; // ordering is deterministic; rng reserved for tie policies
         }
 
+        if let Some(reg) = registry.as_deref_mut() {
+            reg.incr("lb.rounds", 1);
+            reg.observe("lb.migrations_per_round", moved_this_round as u64);
+        }
         if moved_this_round == 0 {
             break;
         }
         report.migrations += moved_this_round;
+        if let Some(reg) = registry.as_deref_mut() {
+            reg.incr("lb.migrations", moved_this_round as u64);
+        }
         *ring = OracleRing::new(
             new_ids
                 .iter()
@@ -411,6 +442,30 @@ mod tests {
             max_after * 4 < max_before,
             "max load should drop: {max_before} -> {max_after}"
         );
+    }
+
+    #[test]
+    fn balance_records_telemetry() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| (1u64 << 40) + i * 1000).collect();
+        let (mut ring, mut nodes, topo) = make_world(32, &keys);
+        let cfg = LoadBalanceConfig::default();
+        let mut rng = SimRng::new(5);
+        let mut reg = simnet::Registry::new();
+        let report = balance_with_telemetry(
+            &mut ring,
+            &mut nodes,
+            &cfg,
+            &topo,
+            8,
+            8,
+            &mut rng,
+            Some(&mut reg),
+        );
+        assert_eq!(reg.counter("lb.rounds") as usize, report.rounds);
+        assert_eq!(reg.counter("lb.migrations") as usize, report.migrations);
+        let h = reg.histogram("lb.migrations_per_round").unwrap();
+        assert_eq!(h.count() as usize, report.rounds);
+        assert_eq!(h.sum() as usize, report.migrations);
     }
 
     #[test]

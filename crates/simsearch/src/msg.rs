@@ -134,7 +134,10 @@ mod tests {
             origin: AgentId(0),
         };
         let k = |_: u8| 10usize;
-        assert_eq!(msg_bytes(&SearchMsg::Route(vec![sq.clone(), sq.clone()]), k), 24 + 2 * 49);
+        assert_eq!(
+            msg_bytes(&SearchMsg::Route(vec![sq.clone(), sq.clone()]), k),
+            24 + 2 * 49
+        );
         assert_eq!(msg_bytes(&SearchMsg::Refine(sq.clone()), k), 73);
         assert_eq!(
             msg_bytes(
@@ -152,9 +155,8 @@ mod tests {
 
     #[test]
     fn closure_oracle() {
-        let oracle: DistanceOracle = Arc::new(|qid: QueryId, obj: ObjectId| {
-            (qid as f64) + (obj.0 as f64) * 0.1
-        });
+        let oracle: DistanceOracle =
+            Arc::new(|qid: QueryId, obj: ObjectId| (qid as f64) + (obj.0 as f64) * 0.1);
         assert_eq!(oracle.distance(2, ObjectId(5)), 2.5);
     }
 }

@@ -2,7 +2,7 @@
 //! messages, answers queries from its local store, and keeps the
 //! per-query cost accounting the experiments report.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use lph::{Grid, Rotation};
@@ -11,8 +11,11 @@ use simnet::{Agent, AgentId, Ctx, SimTime};
 
 use crate::msg::{msg_bytes, DistanceOracle, QueryId, SearchMsg, SubQueryMsg};
 use crate::overlay::Overlay;
-use crate::routing::{route_subquery, surrogate_refine, Action};
+use crate::routing::{
+    route_subquery, route_subquery_traced, surrogate_refine, surrogate_refine_traced, Action,
+};
 use crate::store::Store;
+use crate::telemetry::{Telemetry, TraceEvent};
 
 /// One co-hosted index scheme's node-local state.
 pub struct IndexState {
@@ -67,6 +70,9 @@ pub struct SearchNode {
     /// `(hops, stored-at)` of publications that completed at this node
     /// as the owner.
     pub publishes_stored: Vec<(u32, metric::ObjectId)>,
+    /// Shared telemetry of the system this node belongs to; `None`
+    /// leaves the node untraced (standalone tests, ad-hoc worlds).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl SearchNode {
@@ -89,7 +95,13 @@ impl SearchNode {
             result_bytes_sent: HashMap::new(),
             query_msgs_sent: HashMap::new(),
             publishes_stored: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach the system-wide telemetry handle (shared across nodes).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Total entries stored across all indexes — the node's load.
@@ -101,14 +113,54 @@ impl SearchNode {
         self.indexes[index as usize].grid.dims()
     }
 
+    /// Route one subquery, mirroring routing-layer events (splits,
+    /// shared paths, peels) into the telemetry trace when attached.
+    fn route_traced(
+        &self,
+        me: usize,
+        grid: &Grid,
+        rot: Rotation,
+        sq: SubQueryMsg,
+        split: bool,
+    ) -> Vec<Action> {
+        let qid = sq.qid;
+        match &self.telemetry {
+            None => route_subquery(&self.table, grid, rot, sq, split),
+            Some(tel) => route_subquery_traced(&self.table, grid, rot, sq, split, &mut |ev| {
+                tel.record_routing(qid, me, ev)
+            }),
+        }
+    }
+
+    /// Surrogate-refine one fragment, mirroring events into telemetry.
+    fn refine_traced(
+        &self,
+        me: usize,
+        grid: &Grid,
+        rot: Rotation,
+        sq: SubQueryMsg,
+        split: bool,
+    ) -> Vec<Action> {
+        let qid = sq.qid;
+        match &self.telemetry {
+            None => surrogate_refine(&self.table, grid, rot, sq, split),
+            Some(tel) => surrogate_refine_traced(&self.table, grid, rot, sq, split, &mut |ev| {
+                tel.record_routing(qid, me, ev)
+            }),
+        }
+    }
+
     /// Execute routing actions: batch forwards per destination (the
     /// paper's n-subquery messages), hand off refinements, and answer
     /// local fragments with one result message per query.
     fn execute(&mut self, ctx: &mut Ctx<'_, SearchMsg>, actions: Vec<Action>) {
-        let mut forwards: HashMap<AgentId, Vec<SubQueryMsg>> = HashMap::new();
+        // BTreeMaps, not HashMaps: iteration order decides message send
+        // order, which decides simulated event order — telemetry
+        // snapshots must not depend on the process's hash seed.
+        let mut forwards: BTreeMap<AgentId, Vec<SubQueryMsg>> = BTreeMap::new();
         let mut handoffs: Vec<(AgentId, SubQueryMsg)> = Vec::new();
         // (qid, index) -> (max hops, fragments)
-        let mut answers: HashMap<(QueryId, u8), (u32, Vec<SubQueryMsg>)> = HashMap::new();
+        let mut answers: BTreeMap<(QueryId, u8), (u32, Vec<SubQueryMsg>)> = BTreeMap::new();
         for a in actions {
             match a {
                 Action::Forward { to, mut sq } => {
@@ -140,6 +192,19 @@ impl SearchNode {
                 // are single-query in practice: queries are independent).
                 let qid = subs[0].qid;
                 *self.query_bytes_sent.entry(qid).or_default() += bytes as u64;
+                if let Some(tel) = &self.telemetry {
+                    tel.record(
+                        qid,
+                        TraceEvent::Forward {
+                            from: ctx.me().0,
+                            to: to.0,
+                            subqueries: subs.len() as u32,
+                            bytes,
+                        },
+                    );
+                    tel.incr("search.msgs.route", 1);
+                    tel.incr("search.bytes.query", bytes as u64);
+                }
             }
             ctx.send(to, msg, bytes);
         }
@@ -149,6 +214,18 @@ impl SearchNode {
             let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
             *self.query_bytes_sent.entry(qid).or_default() += bytes as u64;
             *self.query_msgs_sent.entry(qid).or_default() += 1;
+            if let Some(tel) = &self.telemetry {
+                tel.record(
+                    qid,
+                    TraceEvent::Handoff {
+                        from: ctx.me().0,
+                        to: to.0,
+                        bytes,
+                    },
+                );
+                tel.incr("search.msgs.refine", 1);
+                tel.incr("search.bytes.query", bytes as u64);
+            }
             ctx.send(to, msg, bytes);
         }
         for ((qid, index), (hops, fragments)) in answers {
@@ -170,8 +247,13 @@ impl SearchNode {
         let ix = &self.indexes[index as usize];
         // Collect matching entries over all fragments, dedup by object.
         let mut seen: Vec<ObjectId> = Vec::new();
+        let mut scanned = 0u64;
+        let mut matched = 0u64;
         for f in &fragments {
-            for e in ix.store.matching(&f.rect) {
+            let (hits, work) = ix.store.scan(&f.rect);
+            scanned += work.scanned as u64;
+            matched += work.matched as u64;
+            for e in hits {
                 if !seen.contains(&e.obj) {
                     seen.push(e.obj);
                 }
@@ -183,6 +265,7 @@ impl SearchNode {
             .collect();
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         ranked.truncate(self.knn_k);
+        let returned = ranked.len() as u64;
         let origin = fragments[0].origin;
         let msg = SearchMsg::Results {
             qid,
@@ -191,10 +274,30 @@ impl SearchNode {
         };
         let bytes = msg_bytes(&msg, |i| self.k_of(i));
         *self.result_bytes_sent.entry(qid).or_default() += bytes as u64;
+        if let Some(tel) = &self.telemetry {
+            tel.record(
+                qid,
+                TraceEvent::Answer {
+                    at: ctx.me().0,
+                    hops,
+                    scanned,
+                    matched,
+                    returned,
+                    bytes,
+                },
+            );
+            tel.incr("store.entries_scanned", scanned);
+            tel.incr("store.entries_matched", matched);
+            tel.incr("search.msgs.results", 1);
+            tel.incr("search.bytes.results", bytes as u64);
+        }
         ctx.send(origin, msg, bytes);
     }
 
     fn on_issue(&mut self, ctx: &mut Ctx<'_, SearchMsg>, sq: SubQueryMsg) {
+        if let Some(tel) = &self.telemetry {
+            tel.begin_query(sq.qid, ctx.me());
+        }
         self.issued.insert(
             sq.qid,
             IssuedQuery {
@@ -210,7 +313,7 @@ impl SearchNode {
         let grid = Arc::clone(&ix.grid);
         let rot = ix.rotation;
         let actions = match self.naive_level {
-            None => route_subquery(&self.table, &grid, rot, sq, true),
+            None => self.route_traced(ctx.me().0, &grid, rot, sq, true),
             Some(level) => {
                 // Naive baseline: decompose fully at the issuing node and
                 // route every cuboid independently (no shared paths).
@@ -267,13 +370,14 @@ impl Agent for SearchNode {
         match msg {
             SearchMsg::Issue(sq) => self.on_issue(ctx, sq),
             SearchMsg::Route(subs) => {
+                let me = ctx.me().0;
                 let mut actions = Vec::new();
                 for sq in subs {
                     let ix = &self.indexes[sq.index as usize];
                     let grid = Arc::clone(&ix.grid);
                     let rot = ix.rotation;
                     let split = self.naive_level.is_none();
-                    actions.extend(route_subquery(&self.table, &grid, rot, sq, split));
+                    actions.extend(self.route_traced(me, &grid, rot, sq, split));
                 }
                 self.execute(ctx, actions);
             }
@@ -282,7 +386,7 @@ impl Agent for SearchNode {
                 let grid = Arc::clone(&ix.grid);
                 let rot = ix.rotation;
                 let split = self.naive_level.is_none();
-                let actions = surrogate_refine(&self.table, &grid, rot, sq, split);
+                let actions = self.refine_traced(ctx.me().0, &grid, rot, sq, split);
                 self.execute(ctx, actions);
             }
             SearchMsg::Results { qid, hops, entries } => {
@@ -293,17 +397,24 @@ impl Agent for SearchNode {
                 let key = chord::ChordId(entry.ring_key);
                 match self.table.decide(key) {
                     chord::RouteDecision::Local => {
+                        if let Some(tel) = &self.telemetry {
+                            tel.incr("publish.stored", 1);
+                            tel.observe("publish.hops", hops as u64);
+                        }
                         self.publishes_stored.push((hops, entry.obj));
                         self.indexes[index as usize].store.insert(entry);
                     }
-                    chord::RouteDecision::Surrogate(next)
-                    | chord::RouteDecision::Forward(next) => {
+                    chord::RouteDecision::Surrogate(next) | chord::RouteDecision::Forward(next) => {
                         let msg = SearchMsg::Publish {
                             index,
                             entry,
                             hops: hops + 1,
                         };
                         let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
+                        if let Some(tel) = &self.telemetry {
+                            tel.incr("search.msgs.publish", 1);
+                            tel.incr("search.bytes.publish", bytes as u64);
+                        }
                         ctx.send(next.addr, msg, bytes);
                     }
                 }
@@ -472,6 +583,33 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_traces_a_query_end_to_end() {
+        let (mut sim, _ring, grid) = build();
+        let tel = crate::telemetry::Telemetry::new();
+        for a in 0..2 {
+            sim.agent_mut(AgentId(a)).attach_telemetry(tel.clone());
+        }
+        sim.inject(
+            SimTime::ZERO,
+            AgentId(0),
+            issue(Rect::new(vec![0.0], vec![8.0]), &grid, 0),
+        );
+        sim.run();
+        let trace = tel.trace(0).unwrap();
+        assert_eq!(trace.origin, 0);
+        let s = trace.summary();
+        assert!(s.answers >= 2, "both owners answer: {s:?}");
+        assert!(s.forwards + s.handoffs >= 1, "query must travel: {s:?}");
+        assert_eq!(s.returned, 8, "all 8 objects come back: {s:?}");
+        assert!(s.query_bytes > 0 && s.result_bytes > 0);
+        // Registry counters agree with the trace roll-up.
+        let st = tel.lock();
+        assert_eq!(st.registry.counter("store.entries_scanned"), s.scanned);
+        assert_eq!(st.registry.counter("store.entries_matched"), s.matched);
+        assert_eq!(st.registry.counter("search.bytes.results"), s.result_bytes);
+    }
+
+    #[test]
     fn naive_mode_still_correct() {
         let (mut sim_fast, _, grid) = build();
         let (mut sim_naive, _, _) = build();
@@ -503,6 +641,9 @@ mod tests {
             .agents()
             .map(|n| n.query_msgs_sent.values().sum::<u32>())
             .sum();
-        assert!(naive_msgs >= fast_msgs, "naive {naive_msgs} < fast {fast_msgs}");
+        assert!(
+            naive_msgs >= fast_msgs,
+            "naive {naive_msgs} < fast {fast_msgs}"
+        );
     }
 }

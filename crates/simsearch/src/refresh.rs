@@ -181,7 +181,8 @@ impl SearchSystem {
         );
 
         let n = self.cfg.n_nodes;
-        let topo = simnet::Topology::king_like(n, self.cfg.seed ^ 0x7070_7070, self.cfg.mean_rtt_ms);
+        let topo =
+            simnet::Topology::king_like(n, self.cfg.seed ^ 0x7070_7070, self.cfg.mean_rtt_ms);
         let proto_cfg = ChordConfig {
             n_successors: self.cfg.n_successors,
             pns_candidates: self.cfg.pns_candidates,
@@ -337,10 +338,7 @@ mod tests {
         // The new entries sit on their owners.
         for p in &new_points {
             let owner = system.owner_of_point(0, p);
-            let held = system
-                .sim
-                .agent(owner)
-                .indexes[0]
+            let held = system.sim.agent(owner).indexes[0]
                 .store
                 .entries()
                 .iter()

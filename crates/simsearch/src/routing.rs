@@ -49,6 +49,38 @@ pub enum Action {
     },
 }
 
+/// A routing decision worth recording: emitted through the observer sink
+/// of the `*_traced` entry points so the telemetry layer can count splits
+/// and kept-together shared paths without the pure functions knowing
+/// anything about clocks or registries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingEvent {
+    /// Algorithm 4 split the query: the two halves part ways.
+    Split {
+        /// Prefix length of the parent cuboid at the split.
+        prefix_len: u32,
+    },
+    /// The two halves shared their next hop: kept whole (no split).
+    SharedPath {
+        /// Prefix length of the descended common parent.
+        prefix_len: u32,
+    },
+    /// This node owns the fragment's prefix key and refines it locally.
+    LocalRefine {
+        /// Prefix length of the fragment on arrival.
+        prefix_len: u32,
+    },
+    /// Algorithm 5 peeled a sub-cuboid off the surrogate's range and sent
+    /// it back onto the DHT links.
+    RefinePeel {
+        /// Prefix length of the peeled cuboid.
+        prefix_len: u32,
+    },
+}
+
+/// The observer the `*_traced` routing functions report to.
+pub type RoutingSink<'a> = &'a mut dyn FnMut(RoutingEvent);
+
 /// Result of Algorithm 4's recursive descent from a subquery's current
 /// prefix: either the query fits a single deepest cuboid (no split
 /// needed up to full depth), or it straddles a division — then we have
@@ -118,6 +150,19 @@ pub fn route_subquery<T: OverlayTable + ?Sized>(
     sq: SubQueryMsg,
     split: bool,
 ) -> Vec<Action> {
+    route_subquery_traced(table, grid, rot, sq, split, &mut |_| {})
+}
+
+/// [`route_subquery`] with an observer: every split / kept-shared-path /
+/// local-refine / peel decision is reported through `sink`.
+pub fn route_subquery_traced<T: OverlayTable + ?Sized>(
+    table: &T,
+    grid: &Grid,
+    rot: Rotation,
+    sq: SubQueryMsg,
+    split: bool,
+    sink: RoutingSink<'_>,
+) -> Vec<Action> {
     let mut out = Vec::new();
     let mut work: Vec<SubQueryMsg> = Vec::with_capacity(2);
     if !split || sq.prefix.len() == grid.depth() {
@@ -139,8 +184,14 @@ pub fn route_subquery<T: OverlayTable + ?Sized>(
                 if n1 == n2 {
                     // Shared path: keep the query whole (the descended
                     // common parent) — one message instead of two.
+                    sink(RoutingEvent::SharedPath {
+                        prefix_len: parent.prefix.len(),
+                    });
                     work.push(with_geometry(&sq, parent));
                 } else {
+                    sink(RoutingEvent::Split {
+                        prefix_len: parent.prefix.len(),
+                    });
                     work.push(with_geometry(&sq, lower));
                     work.push(with_geometry(&sq, upper));
                 }
@@ -152,7 +203,12 @@ pub fn route_subquery<T: OverlayTable + ?Sized>(
         match table.decide(ring_key) {
             RouteDecision::Local => {
                 // This node owns the prefix key: refine right here.
-                out.extend(surrogate_refine(table, grid, rot, q, split));
+                sink(RoutingEvent::LocalRefine {
+                    prefix_len: q.prefix.len(),
+                });
+                out.extend(surrogate_refine_traced(
+                    table, grid, rot, q, split, &mut *sink,
+                ));
             }
             RouteDecision::Surrogate(s) => out.push(Action::Handoff { to: s.addr, sq: q }),
             RouteDecision::Forward(n) => out.push(Action::Forward { to: n.addr, sq: q }),
@@ -192,12 +248,27 @@ pub fn surrogate_refine<T: OverlayTable + ?Sized>(
     sq: SubQueryMsg,
     split: bool,
 ) -> Vec<Action> {
+    surrogate_refine_traced(table, grid, rot, sq, split, &mut |_| {})
+}
+
+/// [`surrogate_refine`] with an observer: every peel sent back onto the
+/// DHT links (and every decision of the re-routing it triggers) is
+/// reported through `sink`.
+pub fn surrogate_refine_traced<T: OverlayTable + ?Sized>(
+    table: &T,
+    grid: &Grid,
+    rot: Rotation,
+    sq: SubQueryMsg,
+    split: bool,
+    sink: RoutingSink<'_>,
+) -> Vec<Action> {
     let me_eff = rot.from_ring(table.me_ref().id.0);
     let mut out = vec![Action::Answer(sq.clone())];
-    refine_rec(table, grid, rot, me_eff, sq, split, &mut out);
+    refine_rec(table, grid, rot, me_eff, sq, split, &mut out, sink);
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn refine_rec<T: OverlayTable + ?Sized>(
     table: &T,
     grid: &Grid,
@@ -206,6 +277,7 @@ fn refine_rec<T: OverlayTable + ?Sized>(
     sq: SubQueryMsg,
     split: bool,
     out: &mut Vec<Action>,
+    sink: RoutingSink<'_>,
 ) {
     let plen = sq.prefix.len();
     // Line 1: if the node id leaves the query cuboid's prefix, the whole
@@ -227,19 +299,24 @@ fn refine_rec<T: OverlayTable + ?Sized>(
         prefix: Prefix::of_key(me_eff, j - 1),
     };
     let (lower, upper) = grid.split(&parent);
-    let mut dispatch = |child: SubQuery| {
+    let dispatch = |child: SubQuery, out: &mut Vec<Action>, sink: RoutingSink<'_>| {
         let child_msg = with_geometry(&sq, child);
         if Prefix::of_key(me_eff, child_msg.prefix.len()) == child_msg.prefix {
             // Lines 14–15: still on the id's path — keep peeling.
-            refine_rec(table, grid, rot, me_eff, child_msg, split, out);
+            refine_rec(table, grid, rot, me_eff, child_msg, split, out, sink);
         } else {
             // Line 17: keys past this node — back onto the DHT links.
-            out.extend(route_subquery(table, grid, rot, child_msg, split));
+            sink(RoutingEvent::RefinePeel {
+                prefix_len: child_msg.prefix.len(),
+            });
+            out.extend(route_subquery_traced(
+                table, grid, rot, child_msg, split, sink,
+            ));
         }
     };
-    dispatch(lower);
+    dispatch(lower, out, &mut *sink);
     if let Some(upper) = upper {
-        dispatch(upper);
+        dispatch(upper, out, sink);
     }
 }
 
@@ -292,8 +369,7 @@ mod tests {
         let rot = Rotation::IDENTITY;
         let mut answers = Vec::new();
         let mut msgs = 0usize;
-        let mut work: Vec<(usize, SubQueryMsg, bool)> =
-            vec![(start, sq, false)]; // (node, sq, is_refine)
+        let mut work: Vec<(usize, SubQueryMsg, bool)> = vec![(start, sq, false)]; // (node, sq, is_refine)
         while let Some((at, q, is_refine)) = work.pop() {
             let actions = if is_refine {
                 surrogate_refine(&tables[at], grid, rot, q, true)
@@ -351,7 +427,10 @@ mod tests {
         for cell in 0..8u64 {
             let center = cell as f64 + 0.5;
             let rect = Rect::new(vec![center - 0.1], vec![center + 0.1]);
-            let sq = msg(rect, grid.enclosing_prefix(&Rect::new(vec![center - 0.1], vec![center + 0.1])));
+            let sq = msg(
+                rect,
+                grid.enclosing_prefix(&Rect::new(vec![center - 0.1], vec![center + 0.1])),
+            );
             let (answers, _) = resolve(&tables, &grid, 0, sq);
             let owner = owner_of_cell(&ring, &grid, cell);
             assert!(
@@ -368,7 +447,10 @@ mod tests {
         // travel as one message.
         let (tables, ring, grid) = world();
         // Cells 0 and 1 share owner (node with id 2<<61 owns keys 0..=2<<61).
-        assert_eq!(owner_of_cell(&ring, &grid, 0), owner_of_cell(&ring, &grid, 1));
+        assert_eq!(
+            owner_of_cell(&ring, &grid, 0),
+            owner_of_cell(&ring, &grid, 1)
+        );
         let rect = Rect::new(vec![0.2], vec![1.8]);
         let sq = msg(rect.clone(), grid.enclosing_prefix(&rect));
         // Start at the owner itself: zero messages, answered locally.
@@ -385,7 +467,10 @@ mod tests {
         // refined at node 0 must answer 1..=2 from its own store and
         // forward the 3..4 part, whose owner must also answer.
         let rect = Rect::new(vec![1.2], vec![4.6]);
-        let sq = msg(rect, grid.enclosing_prefix(&Rect::new(vec![1.2], vec![4.6])));
+        let sq = msg(
+            rect,
+            grid.enclosing_prefix(&Rect::new(vec![1.2], vec![4.6])),
+        );
         let (answers, msgs) = resolve(&tables, &grid, 0, sq);
         let o0 = owner_of_cell(&ring, &grid, 1);
         let o3 = owner_of_cell(&ring, &grid, 3);
@@ -457,6 +542,120 @@ mod tests {
             assert!(answering.contains(&owner), "cell {cell}");
         }
         let _ = ObjectId(0);
+    }
+
+    #[test]
+    fn query_exactly_covering_a_nodes_key_range_is_answered_locally() {
+        // Node 0 (id 2<<61) owns exactly the keys of cells 0..=2. A query
+        // covering exactly those cells, refined at node 0, must produce
+        // only local answers — nothing peels, nothing travels.
+        let (tables, ring, grid) = world();
+        assert_eq!(owner_of_cell(&ring, &grid, 0), 0);
+        assert_eq!(owner_of_cell(&ring, &grid, 2), 0);
+        assert_eq!(owner_of_cell(&ring, &grid, 3), 1);
+        let rect = Rect::new(vec![0.0], vec![2.99]);
+        let sq = msg(rect.clone(), grid.enclosing_prefix(&rect));
+        let (answers, msgs) = resolve(&tables, &grid, 0, sq);
+        assert_eq!(msgs, 0, "exact-coverage query must not leave the owner");
+        assert!(!answers.is_empty());
+        assert!(answers.iter().all(|(n, _)| *n == 0), "{answers:?}");
+        // The answered regions jointly cover all three owned cells.
+        for cell in 0..3u64 {
+            let center = cell as f64 + 0.5;
+            assert!(answers.iter().any(|(_, r)| r.contains_point(&[center])));
+        }
+    }
+
+    #[test]
+    fn zero_radius_query_reaches_exactly_one_owner() {
+        // A degenerate (point) rectangle: lo == hi. The enclosing prefix
+        // is a single full-depth cell, so routing must deliver it to that
+        // cell's owner and nobody else, from any start.
+        let (tables, ring, grid) = world();
+        for cell in 0..8u64 {
+            let p = cell as f64 + 0.5;
+            let rect = Rect::new(vec![p], vec![p]);
+            let prefix = grid.enclosing_prefix(&rect);
+            assert_eq!(prefix.len(), grid.depth(), "point query pins a cell");
+            let owner = owner_of_cell(&ring, &grid, cell);
+            for start in 0..3 {
+                let (answers, _) = resolve(&tables, &grid, start, msg(rect.clone(), prefix));
+                assert!(
+                    answers.iter().all(|(n, _)| *n == owner),
+                    "cell {cell} from {start}: {answers:?}"
+                );
+                assert_eq!(answers.len(), 1, "exactly one answer for a point query");
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_prefix_refines_to_a_single_answer() {
+        // A fragment already at full grid depth: Algorithm 5 has no bits
+        // left to peel (first_zero_bit's range is empty), so the surrogate
+        // answers once and produces no further actions.
+        let (tables, _ring, grid) = world();
+        let rect = Rect::new(vec![1.1], vec![1.9]);
+        let prefix = grid.enclosing_prefix(&rect);
+        assert_eq!(prefix.len(), grid.depth());
+        // Node 0 owns cell 1's key.
+        let actions = surrogate_refine(
+            &tables[0],
+            &grid,
+            Rotation::IDENTITY,
+            msg(rect, prefix),
+            true,
+        );
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], Action::Answer(_)));
+        // route_subquery with a full-depth prefix must not attempt to
+        // descend further either.
+        let rect2 = Rect::new(vec![1.1], vec![1.9]);
+        let sq2 = msg(rect2.clone(), grid.enclosing_prefix(&rect2));
+        let routed = route_subquery(&tables[0], &grid, Rotation::IDENTITY, sq2, true);
+        assert_eq!(routed.len(), 1);
+        assert!(matches!(routed[0], Action::Answer(_)));
+    }
+
+    #[test]
+    fn traced_routing_reports_splits_and_untraced_agrees() {
+        // The full-space query from node 1 must split at the root (cells
+        // 0..3 and 4..7 have different owners) and report it; the traced
+        // and untraced variants must produce identical actions.
+        let (tables, _ring, grid) = world();
+        let rect = Rect::new(vec![0.0], vec![8.0]);
+        let sq = msg(rect, Prefix::ROOT);
+        let mut events = Vec::new();
+        let traced = route_subquery_traced(
+            &tables[1],
+            &grid,
+            Rotation::IDENTITY,
+            sq.clone(),
+            true,
+            &mut |e| events.push(e),
+        );
+        let untraced = route_subquery(&tables[1], &grid, Rotation::IDENTITY, sq, true);
+        assert_eq!(traced.len(), untraced.len());
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, RoutingEvent::Split { .. })),
+            "full-space query must split: {events:?}"
+        );
+        // A refine at an owner reports peels through the same sink.
+        let rect = Rect::new(vec![1.2], vec![4.6]);
+        let sqr = msg(rect.clone(), grid.enclosing_prefix(&rect));
+        let mut refine_events = Vec::new();
+        let _ =
+            surrogate_refine_traced(&tables[0], &grid, Rotation::IDENTITY, sqr, true, &mut |e| {
+                refine_events.push(e)
+            });
+        assert!(
+            refine_events
+                .iter()
+                .any(|e| matches!(e, RoutingEvent::RefinePeel { .. })),
+            "straddling refine must peel: {refine_events:?}"
+        );
     }
 
     #[test]

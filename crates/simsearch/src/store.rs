@@ -92,8 +92,37 @@ impl Store {
     /// The node's local answer to a region query: entries whose index
     /// point lies in `rect`, as `(object, index point)` pairs.
     pub fn matching<'a>(&'a self, rect: &'a Rect) -> impl Iterator<Item = &'a Entry> + 'a {
-        self.entries.iter().filter(|e| rect.contains_point(&e.point))
+        self.entries
+            .iter()
+            .filter(|e| rect.contains_point(&e.point))
     }
+
+    /// Like [`Store::matching`], but also reports how much work the scan
+    /// did — the telemetry layer records scanned/matched counts per query.
+    pub fn scan<'a>(&'a self, rect: &Rect) -> (Vec<&'a Entry>, ScanStats) {
+        let scanned = self.entries.len();
+        let hits: Vec<&Entry> = self
+            .entries
+            .iter()
+            .filter(|e| rect.contains_point(&e.point))
+            .collect();
+        let stats = ScanStats {
+            scanned,
+            matched: hits.len(),
+        };
+        (hits, stats)
+    }
+}
+
+/// Work accounting for one local scan of a node's store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Entries examined (the node's whole store — entries are ordered by
+    /// ring key, not by index-space coordinates, so a region query cannot
+    /// narrow the scan).
+    pub scanned: usize,
+    /// Entries whose index point fell inside the query region.
+    pub matched: usize,
 }
 
 #[cfg(test)]
@@ -159,6 +188,23 @@ mod tests {
         let rect = Rect::new(vec![1.0], vec![2.0]);
         let hits: Vec<u32> = s.matching(&rect).map(|x| x.obj.0).collect();
         assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn scan_reports_work() {
+        let mut s = Store::new();
+        s.extend([e(1, 0, 0.5), e(2, 1, 2.5), e(3, 2, 1.5)]);
+        let rect = Rect::new(vec![1.0], vec![2.0]);
+        let (hits, stats) = s.scan(&rect);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].obj.0, 2);
+        assert_eq!(
+            stats,
+            ScanStats {
+                scanned: 3,
+                matched: 1
+            }
+        );
     }
 
     #[test]

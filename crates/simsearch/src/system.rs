@@ -2,11 +2,14 @@
 //! optionally balance load, run a query workload, and fold the paper's
 //! cost metrics (§4.1) per query.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use chord::{ChordId, OracleRing};
 use lph::{Grid, Rect, Rotation};
 use metric::ObjectId;
+use serde_json::Value;
+use simnet::telemetry::histogram_of;
 use simnet::{AgentId, Sim, SimRng, SimTime, Topology};
 
 use crate::load::{self, LoadBalanceReport};
@@ -14,6 +17,7 @@ use crate::msg::{DistanceOracle, QueryId, SearchMsg, SubQueryMsg};
 use crate::node::{IndexState, SearchNode};
 use crate::overlay::{Overlay, OverlayKind};
 use crate::store::{Entry, Store};
+use crate::telemetry::Telemetry;
 
 pub use crate::load::LoadBalanceConfig;
 
@@ -134,6 +138,8 @@ pub struct SearchSystem {
     pub(crate) rotations: Vec<Rotation>,
     /// What the load balancer did at build time (if enabled).
     pub lb_report: Option<LoadBalanceReport>,
+    /// Always-on run telemetry, shared with every node.
+    pub(crate) telemetry: Telemetry,
 }
 
 impl SearchSystem {
@@ -202,12 +208,15 @@ impl SearchSystem {
                 .into_iter()
                 .map(Overlay::Chord)
                 .collect(),
-            OverlayKind::Pastry => {
-                pastry::build_all_tables(&ring, pastry::LEAF_HALF, topo_opt, cfg.pns_candidates.max(1))
-                    .into_iter()
-                    .map(Overlay::Pastry)
-                    .collect()
-            }
+            OverlayKind::Pastry => pastry::build_all_tables(
+                &ring,
+                pastry::LEAF_HALF,
+                topo_opt,
+                cfg.pns_candidates.max(1),
+            )
+            .into_iter()
+            .map(Overlay::Pastry)
+            .collect(),
         };
 
         let mut nodes: Vec<SearchNode> = tables
@@ -263,10 +272,16 @@ impl SearchSystem {
             }
         }
 
+        let telemetry = Telemetry::new();
+        for node in &mut nodes {
+            node.attach_telemetry(telemetry.clone());
+        }
+
         let mut ring = ring;
         let lb_report = cfg.lb.as_ref().map(|lb| {
             let mut lb_rng = root.fork(0x1B);
-            load::balance(
+            let mut st = telemetry.lock();
+            load::balance_with_telemetry(
                 &mut ring,
                 &mut nodes,
                 lb,
@@ -274,6 +289,7 @@ impl SearchSystem {
                 cfg.n_successors,
                 cfg.pns_candidates.max(1),
                 &mut lb_rng,
+                Some(&mut st.registry),
             )
         });
 
@@ -285,6 +301,7 @@ impl SearchSystem {
             grids,
             rotations,
             lb_report,
+            telemetry,
         }
     }
 
@@ -326,12 +343,76 @@ impl SearchSystem {
 
     /// Total entries across nodes for an index (conservation checks).
     pub fn total_entries(&self, index: usize) -> usize {
-        self.sim.agents().map(|n| n.indexes[index].store.load()).sum()
+        self.sim
+            .agents()
+            .map(|n| n.indexes[index].store.load())
+            .sum()
     }
 
     /// Aggregate network counters so far.
     pub fn net_stats(&self) -> simnet::NetStats {
         self.sim.stats()
+    }
+
+    /// The run's telemetry handle (traces + counter registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A canonical JSON snapshot of everything this run observed:
+    /// configuration, simulator-level network totals, the counter/
+    /// histogram registry, per-index load histograms, and one roll-up +
+    /// event list per query. Every value is an integer or a string and
+    /// every object is key-sorted, so two runs from the same seed
+    /// serialize byte-identically — the golden-snapshot CI gate diffs
+    /// exactly this.
+    pub fn telemetry_snapshot(&self) -> Value {
+        let st = self.telemetry.lock();
+        let net = self.sim.stats();
+        let overlay = match self.cfg.overlay {
+            OverlayKind::Chord => "chord",
+            OverlayKind::Pastry => "pastry",
+        };
+        let mut load: BTreeMap<String, Value> = BTreeMap::new();
+        for ix in 0..self.grids.len() {
+            let h = histogram_of(self.sim.agents().map(|n| n.indexes[ix].store.load() as u64));
+            load.insert(format!("index{ix}"), h.to_json());
+        }
+        let queries: BTreeMap<String, Value> = st
+            .traces
+            .iter()
+            .map(|(qid, t)| (format!("{qid:010}"), t.to_json()))
+            .collect();
+        serde_json::json!({
+            "config": serde_json::json!({
+                "n_nodes": Value::UInt(self.cfg.n_nodes as u64),
+                "seed": Value::UInt(self.cfg.seed),
+                "n_successors": Value::UInt(self.cfg.n_successors as u64),
+                "pns_candidates": Value::UInt(self.cfg.pns_candidates as u64),
+                "knn_k": Value::UInt(self.cfg.knn_k as u64),
+                "depth": Value::UInt(self.cfg.depth as u64),
+                "overlay": Value::String(overlay.to_string()),
+            }),
+            "net": serde_json::json!({
+                "messages": Value::UInt(net.messages),
+                "bytes": Value::UInt(net.bytes),
+                "timers": Value::UInt(net.timers),
+                "events": Value::UInt(net.events),
+                "dropped": Value::UInt(net.dropped),
+            }),
+            "registry": st.registry.to_json(),
+            "load": Value::Object(load),
+            "queries": Value::Object(queries),
+        })
+    }
+
+    /// [`SearchSystem::telemetry_snapshot`] pretty-printed, with a
+    /// trailing newline — the exact bytes of the checked-in golden file.
+    pub fn telemetry_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(&self.telemetry_snapshot())
+            .expect("serialization is infallible");
+        s.push('\n');
+        s
     }
 
     /// Inject the workload (Poisson arrivals with the given mean
@@ -464,7 +545,12 @@ mod tests {
             .sqrt()
     }
 
-    fn build_queries(points: &[Vec<f64>], qpoints: &[Vec<f64>], r: f64, k: usize) -> Vec<QuerySpec> {
+    fn build_queries(
+        points: &[Vec<f64>],
+        qpoints: &[Vec<f64>],
+        r: f64,
+        k: usize,
+    ) -> Vec<QuerySpec> {
         qpoints
             .iter()
             .map(|qp| {
@@ -618,11 +704,8 @@ mod tests {
                 l2(&qp[qid as usize], &points[obj.0 as usize])
             })
         };
-        let mut plain = SearchSystem::build(
-            cfg.clone(),
-            &[spec],
-            mk_oracle(points.clone(), qp.clone()),
-        );
+        let mut plain =
+            SearchSystem::build(cfg.clone(), &[spec], mk_oracle(points.clone(), qp.clone()));
         let mut rot = SearchSystem::build(cfg, &[rotated], mk_oracle(points.clone(), qp.clone()));
         let a = plain.run_queries(&queries, 10.0);
         let b = rot.run_queries(&queries, 10.0);
@@ -630,11 +713,47 @@ mod tests {
             a[0].results.iter().map(|&(o, _)| o.0).collect::<Vec<_>>(),
             b[0].results.iter().map(|&(o, _)| o.0).collect::<Vec<_>>(),
         );
-        // Placement genuinely differs.
+        // Sorted load distributions may rarely coincide even when placement
+        // differs, so only sanity-check that both systems hold entries; the
+        // strong rotation check lives in the lph tests.
         let da = plain.load_distribution(0);
         let db = rot.load_distribution(0);
-        assert!(da != db || plain.total_entries(0) == 0 || true); // distributions may rarely coincide in sorted form; the strong check is below
-        let _ = (da, db);
+        assert_eq!(da.iter().sum::<usize>(), db.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn telemetry_snapshot_is_deterministic_and_complete() {
+        let cfg = SystemConfig {
+            n_nodes: 24,
+            knn_k: 5,
+            depth: 16,
+            lb: Some(LoadBalanceConfig::default()),
+            ..SystemConfig::default()
+        };
+        let (_a, sys_a) = run_world(cfg.clone(), 400, 20.0);
+        let (_b, sys_b) = run_world(cfg, 400, 20.0);
+        assert_eq!(
+            sys_a.telemetry_json(),
+            sys_b.telemetry_json(),
+            "same seed must serialize byte-identically"
+        );
+        let snap = sys_a.telemetry_snapshot();
+        assert_eq!(snap["config"]["n_nodes"].as_u64(), Some(24));
+        assert_eq!(snap["config"]["overlay"].as_str(), Some("chord"));
+        // One load sample per node.
+        assert_eq!(snap["load"]["index0"]["count"].as_u64(), Some(24));
+        // All four queries answered and traced with integer roll-ups.
+        for qid in 0..4 {
+            let key = format!("{qid:010}");
+            let q = &snap["queries"][key.as_str()];
+            assert!(q["answers"].as_u64().unwrap() >= 1, "query {qid}");
+            assert!(q["hops"].as_u64().is_some(), "query {qid}");
+            assert!(q["scanned"].as_u64().unwrap() > 0, "query {qid}");
+        }
+        let counters = &snap["registry"]["counters"];
+        assert!(counters["search.msgs.results"].as_u64().unwrap() >= 4);
+        assert!(counters["lb.rounds"].as_u64().unwrap() >= 1);
+        assert!(snap["net"]["bytes"].as_u64().unwrap() > 0);
     }
 
     #[test]

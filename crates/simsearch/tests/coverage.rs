@@ -72,8 +72,16 @@ fn check_world(
     let tables = ring.build_all_tables(8, None, 8);
     let grid = Grid::new(Rect::cube(dims, 0.0, 64.0), depth);
     let rect = Rect::new(
-        rect_lo.iter().zip(&rect_hi).map(|(a, b)| a.min(*b)).collect(),
-        rect_lo.iter().zip(&rect_hi).map(|(a, b)| a.max(*b)).collect(),
+        rect_lo
+            .iter()
+            .zip(&rect_hi)
+            .map(|(a, b)| a.min(*b))
+            .collect(),
+        rect_lo
+            .iter()
+            .zip(&rect_hi)
+            .map(|(a, b)| a.max(*b))
+            .collect(),
     );
     let sq = SubQueryMsg {
         qid: 0,
@@ -99,14 +107,19 @@ fn check_world(
         let key = rot.to_ring(grid.hash(&p));
         let owner = ring.owner_of(ChordId(key)).addr.0;
         prop_assert!(
-            answers.iter().any(|(n, r)| *n == owner && r.contains_point(&p)),
+            answers
+                .iter()
+                .any(|(n, r)| *n == owner && r.contains_point(&p)),
             "probe {p:?} (owner {owner}) uncovered; {} answers, {msgs} msgs",
             answers.len()
         );
     }
     // Termination budget: generous bound, linear in the ring size with a
     // log-ish routing factor.
-    prop_assert!(msgs <= n_nodes * 40 + 200, "{msgs} messages for {n_nodes} nodes");
+    prop_assert!(
+        msgs <= n_nodes * 40 + 200,
+        "{msgs} messages for {n_nodes} nodes"
+    );
     Ok(())
 }
 

@@ -47,16 +47,18 @@ fn world_strategy() -> impl Strategy<Value = WorldSpec> {
         ),
     )
         .prop_map(
-            |(n_nodes, n_objects, seed, lb, rotate, naive, load_aware, pastry, queries)| WorldSpec {
-                n_nodes,
-                n_objects,
-                seed,
-                lb,
-                rotate,
-                naive,
-                load_aware,
-                pastry,
-                queries,
+            |(n_nodes, n_objects, seed, lb, rotate, naive, load_aware, pastry, queries)| {
+                WorldSpec {
+                    n_nodes,
+                    n_objects,
+                    seed,
+                    lb,
+                    rotate,
+                    naive,
+                    load_aware,
+                    pastry,
+                    queries,
+                }
             },
         )
 }

@@ -333,7 +333,12 @@ mod tests {
             "median {} too far from 146",
             s.p50
         );
-        assert!(s.mean > s.p50 as f64 * 0.9, "mean {} vs p50 {}", s.mean, s.p50);
+        assert!(
+            s.mean > s.p50 as f64 * 0.9,
+            "mean {} vs p50 {}",
+            s.mean,
+            s.p50
+        );
         assert!(s.p95 > s.p50, "{s:?}");
         assert!(s.max <= 676);
         assert!(s.min >= 1);
@@ -365,8 +370,7 @@ mod tests {
                     continue;
                 }
                 total += 1;
-                if (m.distance(&c.docs[i], &c.docs[j]) - std::f64::consts::FRAC_PI_2).abs() < 1e-9
-                {
+                if (m.distance(&c.docs[i], &c.docs[j]) - std::f64::consts::FRAC_PI_2).abs() < 1e-9 {
                     orthogonal += 1;
                 }
             }
@@ -389,7 +393,10 @@ mod tests {
         // Zipf beyond the stopword cutoff: the first surviving ranks are
         // much more frequent than deep-tail terms; the stopword head has
         // zero df by construction.
-        assert!(c.df[..400].iter().all(|&d| d == 0), "stopwords must not appear");
+        assert!(
+            c.df[..400].iter().all(|&d| d == 0),
+            "stopwords must not appear"
+        );
         let head: u32 = c.df[400..450].iter().sum();
         let tail: u32 = c.df[6000..6050].iter().sum();
         assert!(head > tail * 3, "head {head} vs tail {tail}");

@@ -53,8 +53,7 @@ impl StringWorkload {
         let mut rng = SimRng::new(seed).fork(0xD9A);
         let mut sequences = Vec::new();
         for _ in 0..params.families {
-            let len =
-                params.length.0 + rng.index(params.length.1 - params.length.0 + 1);
+            let len = params.length.0 + rng.index(params.length.1 - params.length.0 + 1);
             let ancestor: Vec<u8> = (0..len)
                 .map(|_| params.alphabet[rng.index(params.alphabet.len())])
                 .collect();

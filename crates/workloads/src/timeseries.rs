@@ -201,7 +201,10 @@ mod tests {
             let window = &w.series[start..start + 32];
             let d = m.distance(window, &w.motif_templates[motif]);
             // Noise 0.2 per sample over 32 samples: distance ≤ 0.2*sqrt(32).
-            assert!(d <= 0.2 * (32f64).sqrt() + 1e-6, "plant {motif}@{start}: {d}");
+            assert!(
+                d <= 0.2 * (32f64).sqrt() + 1e-6,
+                "plant {motif}@{start}: {d}"
+            );
         }
     }
 

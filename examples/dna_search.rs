@@ -84,7 +84,10 @@ fn main() {
         }],
         oracle,
     );
-    println!("published {} sequence entries over 32 nodes", system.total_entries(0));
+    println!(
+        "published {} sequence entries over 32 nodes",
+        system.total_entries(0)
+    );
 
     // Search within 12 edit operations: should recover the family.
     let outcomes = system.run_queries(
@@ -98,7 +101,10 @@ fn main() {
     );
 
     let o = &outcomes[0];
-    println!("\nsequences within 12 edits (top 10 of {} returned):", o.results.len());
+    println!(
+        "\nsequences within 12 edits (top 10 of {} returned):",
+        o.results.len()
+    );
     for &(id, d) in o.results.iter().take(10) {
         println!("  #{:<6} edits={d:<4} {}", id.0, &sequences[id.0 as usize]);
     }

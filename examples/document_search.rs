@@ -115,7 +115,11 @@ fn main() {
     println!("\nretrieval within angle {radius:.3} rad:");
     println!(
         "  {} nodes answered in {:.0} ms (first) / {:.0} ms (all); {} hops; recall@10 {:.0}%",
-        o.responses, o.response_ms, o.max_latency_ms, o.hops, o.recall * 100.0
+        o.responses,
+        o.response_ms,
+        o.max_latency_ms,
+        o.hops,
+        o.recall * 100.0
     );
     println!("\ntop documents (id, angle, same subject area as truth #1?):");
     let top_area = corpus.doc_areas[truth[0].0 .0 as usize];
@@ -124,7 +128,11 @@ fn main() {
         println!(
             "  #{:<6} angle={d:.3} area={area}{}",
             id.0,
-            if area == top_area { "  <- same topic" } else { "" }
+            if area == top_area {
+                "  <- same topic"
+            } else {
+                ""
+            }
         );
     }
 

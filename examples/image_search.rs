@@ -114,7 +114,10 @@ fn main() {
         }],
         oracle,
     );
-    println!("published {} image entries over 40 nodes", system.total_entries(0));
+    println!(
+        "published {} image entries over 40 nodes",
+        system.total_entries(0)
+    );
 
     let outcomes = system.run_queries(
         &[QuerySpec {
@@ -127,9 +130,7 @@ fn main() {
     );
 
     let o = &outcomes[0];
-    println!(
-        "\nimages within Hausdorff distance 8 of the query (template {qlabel}):"
-    );
+    println!("\nimages within Hausdorff distance 8 of the query (template {qlabel}):");
     let mut same = 0;
     for &(id, d) in o.results.iter().take(10) {
         let l = labels[id.0 as usize];

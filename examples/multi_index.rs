@@ -22,7 +22,9 @@ use landmark::{boundary_from_metric, boundary_from_sample, greedy, kmeans, Mappe
 use metric::{Angular, EditDistance, Metric, ObjectId, SparseVector, L2};
 use simnet::SimRng;
 use simsearch::{IndexSpec, QueryDistance, QueryId, QuerySpec, SearchSystem, SystemConfig};
-use workloads::{ClusteredParams, ClusteredVectors, Corpus, CorpusParams, StringWorkload, StringWorkloadParams};
+use workloads::{
+    ClusteredParams, ClusteredVectors, Corpus, CorpusParams, StringWorkload, StringWorkloadParams,
+};
 
 fn main() {
     let seed = 123;
@@ -47,7 +49,11 @@ fn main() {
         .collect();
     let vlandmarks = kmeans::<_, [f32], _>(&vmetric, &vsample, 4, 10, &mut rng);
     let vmapper = Mapper::new(vmetric, vlandmarks);
-    let vpoints: Vec<Vec<f64>> = vectors.objects.iter().map(|o| vmapper.map(o.as_slice())).collect();
+    let vpoints: Vec<Vec<f64>> = vectors
+        .objects
+        .iter()
+        .map(|o| vmapper.map(o.as_slice()))
+        .collect();
 
     // --- index 1: documents / angular ---
     let corpus = Corpus::generate(
@@ -78,7 +84,11 @@ fn main() {
         .collect();
     let slandmarks = greedy::<_, str, _>(&EditDistance, &ssample, 4, &mut rng);
     let smapper = Mapper::new(EditDistance, slandmarks);
-    let spoints: Vec<Vec<f64>> = dna.sequences.iter().map(|s| smapper.map(s.as_str())).collect();
+    let spoints: Vec<Vec<f64>> = dna
+        .sequences
+        .iter()
+        .map(|s| smapper.map(s.as_str()))
+        .collect();
 
     // --- one query per index ---
     let vq = vectors.queries(1, seed ^ 2).remove(0);
@@ -129,7 +139,10 @@ fn main() {
         oracle,
     );
     println!("one 48-node ring hosting three indexes:");
-    for (i, name) in ["vectors-l2", "documents-angular", "dna-edit"].iter().enumerate() {
+    for (i, name) in ["vectors-l2", "documents-angular", "dna-edit"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "  {name:<18} {:>5} entries, rotation φ = {:#018x}",
             system.total_entries(i),
@@ -160,7 +173,11 @@ fn main() {
     let outcomes = system.run_queries(&queries, 5.0);
 
     println!("\nthree simultaneous queries, one routing structure:");
-    for (o, what) in outcomes.iter().zip(["vector 5%-range", "document 12%-angle", "DNA <=10 edits"]) {
+    for (o, what) in
+        outcomes
+            .iter()
+            .zip(["vector 5%-range", "document 12%-angle", "DNA <=10 edits"])
+    {
         println!(
             "  {what:<18}: {:>2} results, {} hops, {:>5.0} ms, {:>5} B",
             o.results.len(),
@@ -171,5 +188,31 @@ fn main() {
         for &(id, d) in o.results.iter().take(3) {
             println!("      #{:<6} d={d:.3}", id.0);
         }
+    }
+
+    // Per-index load histograms and per-query roll-ups from the shared
+    // telemetry — one registry covers all three co-hosted indexes.
+    let snap = system.telemetry_snapshot();
+    println!("\ntelemetry roll-up per query (from the shared trace registry):");
+    for qid in 0..3u32 {
+        let key = format!("{qid:010}");
+        let q = &snap["queries"][key.as_str()];
+        println!(
+            "  query {qid}: {} forwards, {} splits, {} answering nodes, \
+             {} entries scanned",
+            q["forwards"].as_u64().unwrap_or(0),
+            q["splits"].as_u64().unwrap_or(0),
+            q["answers"].as_u64().unwrap_or(0),
+            q["scanned"].as_u64().unwrap_or(0),
+        );
+    }
+    for i in 0..3 {
+        let key = format!("index{i}");
+        let h = &snap["load"][key.as_str()];
+        println!(
+            "  index{i} load histogram: {} nodes, max {} entries on one node",
+            h["count"].as_u64().unwrap_or(0),
+            h["max"].as_u64().unwrap_or(0),
+        );
     }
 }

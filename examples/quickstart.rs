@@ -35,12 +35,18 @@ fn main() {
         },
         seed,
     );
-    println!("dataset: {} objects, 20 dims, 5 clusters", data.objects.len());
+    println!(
+        "dataset: {} objects, 20 dims, 5 clusters",
+        data.objects.len()
+    );
 
     // 2. Landmarks by k-means over a sample; map everything.
     let mut rng = SimRng::new(seed);
     let sample_idx = rng.sample_indices(data.objects.len(), 500);
-    let sample: Vec<Vec<f32>> = sample_idx.iter().map(|&i| data.objects[i].clone()).collect();
+    let sample: Vec<Vec<f32>> = sample_idx
+        .iter()
+        .map(|&i| data.objects[i].clone())
+        .collect();
     let metric = L2::bounded(20, 0.0, 100.0);
     let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 5, 15, &mut rng);
     println!(
@@ -80,7 +86,10 @@ fn main() {
         }],
         oracle,
     );
-    println!("published {} entries over 64 nodes", system.total_entries(0));
+    println!(
+        "published {} entries over 64 nodes",
+        system.total_entries(0)
+    );
 
     // 4. One range query: radius = 4% of the maximum distance.
     let radius = 0.04 * data.max_distance();
@@ -116,4 +125,26 @@ fn main() {
         println!("  {mark} #{:<6} d={d:.2}", id.0);
     }
     println!("(* = member of the exact 10-NN)");
+
+    // 6. What actually happened on the wire: the recorded query plan and
+    // the run's telemetry counters.
+    if let Some(plan) = system.query_plan(0) {
+        println!("\nrecorded query plan:\n{plan}");
+    }
+    let snap = system.telemetry_snapshot();
+    println!(
+        "telemetry: {} wire messages / {} B total; {} splits, {} peels, \
+         {} entries scanned across answering nodes",
+        snap["net"]["messages"].as_u64().unwrap_or(0),
+        snap["net"]["bytes"].as_u64().unwrap_or(0),
+        snap["registry"]["counters"]["routing.splits"]
+            .as_u64()
+            .unwrap_or(0),
+        snap["registry"]["counters"]["routing.peels"]
+            .as_u64()
+            .unwrap_or(0),
+        snap["registry"]["counters"]["store.entries_scanned"]
+            .as_u64()
+            .unwrap_or(0),
+    );
 }

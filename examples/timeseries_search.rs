@@ -43,13 +43,20 @@ fn main() {
         .collect();
     let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 8, 12, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = ts.windows.iter().map(|w| mapper.map(w.as_slice())).collect();
+    let points: Vec<Vec<f64>> = ts
+        .windows
+        .iter()
+        .map(|w| mapper.map(w.as_slice()))
+        .collect();
     let boundary = boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.05);
 
     // Query: a fresh noisy copy of one motif.
     let (motif, query) = ts.queries(1, seed ^ 5).remove(0);
     let targets = ts.occurrences_of(motif);
-    println!("query: noisy copy of motif {motif}; {} true occurrences indexed", targets.len());
+    println!(
+        "query: noisy copy of motif {motif}; {} true occurrences indexed",
+        targets.len()
+    );
 
     let windows = Arc::new(ts.windows.clone());
     let q2 = query.clone();
@@ -71,7 +78,10 @@ fn main() {
         }],
         oracle,
     );
-    println!("published {} window entries over 64 nodes", system.total_entries(0));
+    println!(
+        "published {} window entries over 64 nodes",
+        system.total_entries(0)
+    );
 
     // The noise envelope: a motif occurrence is within 2·noise·sqrt(w).
     let radius = 2.0 * 0.25 * (64f64).sqrt();
@@ -96,7 +106,11 @@ fn main() {
         }
         println!(
             "  window @{start:<6} d={d:<7.2}{}",
-            if is_plant { "  <- planted occurrence" } else { "" }
+            if is_plant {
+                "  <- planted occurrence"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -31,7 +31,11 @@ fn run_once(seed: u64) -> Vec<QueryOutcome> {
         .collect();
     let landmarks = greedy::<_, [f32], _>(&metric, &sample, 5, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = data.objects.iter().map(|o| mapper.map(o.as_slice())).collect();
+    let points: Vec<Vec<f64>> = data
+        .objects
+        .iter()
+        .map(|o| mapper.map(o.as_slice()))
+        .collect();
     let qpoints = data.queries(6, seed ^ 3);
     let queries: Vec<QuerySpec> = qpoints
         .iter()
@@ -45,7 +49,10 @@ fn run_once(seed: u64) -> Vec<QueryOutcome> {
     let objects = Arc::new(data.objects.clone());
     let qp = Arc::new(qpoints);
     let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
-        L2::new().distance(qp[qid as usize].as_slice(), objects[obj.0 as usize].as_slice())
+        L2::new().distance(
+            qp[qid as usize].as_slice(),
+            objects[obj.0 as usize].as_slice(),
+        )
     });
     let mut system = SearchSystem::build(
         SystemConfig {

@@ -9,7 +9,9 @@ use landmark::{boundary_from_metric, boundary_from_sample, greedy, kmeans, Mappe
 use metric::{Angular, Dataset, EditDistance, Metric, ObjectId, SparseVector, L2};
 use simnet::SimRng;
 use simsearch::{IndexSpec, QueryDistance, QueryId, QuerySpec, SearchSystem, SystemConfig};
-use workloads::{ClusteredParams, ClusteredVectors, Corpus, CorpusParams, StringWorkload, StringWorkloadParams};
+use workloads::{
+    ClusteredParams, ClusteredVectors, Corpus, CorpusParams, StringWorkload, StringWorkloadParams,
+};
 
 /// Vectors under L2, k-means landmarks: generous radius must give
 /// perfect recall; results must exactly match the brute-force range
@@ -36,7 +38,11 @@ fn vectors_l2_pipeline() {
         .collect();
     let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 4, 10, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = data.objects.iter().map(|o| mapper.map(o.as_slice())).collect();
+    let points: Vec<Vec<f64>> = data
+        .objects
+        .iter()
+        .map(|o| mapper.map(o.as_slice()))
+        .collect();
 
     let qpoints = data.queries(8, seed ^ 1);
     let ds = Dataset::new(data.objects.clone());
@@ -57,7 +63,10 @@ fn vectors_l2_pipeline() {
     let objects = Arc::new(data.objects.clone());
     let qp = Arc::new(qpoints);
     let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
-        L2::new().distance(qp[qid as usize].as_slice(), objects[obj.0 as usize].as_slice())
+        L2::new().distance(
+            qp[qid as usize].as_slice(),
+            objects[obj.0 as usize].as_slice(),
+        )
     });
     let mut system = SearchSystem::build(
         SystemConfig {

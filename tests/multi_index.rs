@@ -44,7 +44,11 @@ fn build_world(seed: u64) -> World {
             .collect();
         let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 4, 8, rng);
         let mapper = Mapper::new(metric, landmarks);
-        let points: Vec<Vec<f64>> = data.objects.iter().map(|o| mapper.map(o.as_slice())).collect();
+        let points: Vec<Vec<f64>> = data
+            .objects
+            .iter()
+            .map(|o| mapper.map(o.as_slice()))
+            .collect();
         (
             IndexSpec {
                 name: name.into(),
@@ -85,7 +89,10 @@ fn build_world(seed: u64) -> World {
         truth: truth(&data_b, &qb),
     };
 
-    let (oa, ob) = (Arc::new(data_a.objects.clone()), Arc::new(data_b.objects.clone()));
+    let (oa, ob) = (
+        Arc::new(data_a.objects.clone()),
+        Arc::new(data_b.objects.clone()),
+    );
     let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
         // Query 0 targets index 0 (dataset A); query 1 targets B.
         if qid == 0 {
@@ -124,8 +131,11 @@ fn cohosted_indexes_answer_like_solo_deployments() {
     // Solo runs. The solo system sees the same query ids (0 for A; for
     // B's solo system the query must become qid 0 → rebuild an oracle
     // shim that forwards qid 1).
-    let mut solo_a =
-        SearchSystem::build(cfg.clone(), std::slice::from_ref(&w.spec_a), Arc::clone(&w.oracle));
+    let mut solo_a = SearchSystem::build(
+        cfg.clone(),
+        std::slice::from_ref(&w.spec_a),
+        Arc::clone(&w.oracle),
+    );
     let solo_a_out = solo_a.run_queries(std::slice::from_ref(&w.query_a), 5.0);
     let inner = Arc::clone(&w.oracle);
     let shifted: Arc<dyn QueryDistance> =
@@ -138,8 +148,16 @@ fn cohosted_indexes_answer_like_solo_deployments() {
     let ids = |o: &simsearch::QueryOutcome| -> Vec<u32> {
         o.results.iter().map(|&(id, _)| id.0).collect()
     };
-    assert_eq!(ids(&co[0]), ids(&solo_a_out[0]), "index A answers changed by co-hosting");
-    assert_eq!(ids(&co[1]), ids(&solo_b_out[0]), "index B answers changed by co-hosting");
+    assert_eq!(
+        ids(&co[0]),
+        ids(&solo_a_out[0]),
+        "index A answers changed by co-hosting"
+    );
+    assert_eq!(
+        ids(&co[1]),
+        ids(&solo_b_out[0]),
+        "index B answers changed by co-hosting"
+    );
     assert_eq!(co[0].recall, 1.0);
     assert_eq!(co[1].recall, 1.0);
 }

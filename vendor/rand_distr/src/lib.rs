@@ -1,0 +1,106 @@
+//! Offline stand-in for the `rand_distr` crate (0.4 API subset): just the
+//! [`Zipf`] distribution, implemented by exact inverse-CDF table lookup
+//! rather than rejection sampling, so it is deterministic in the number of
+//! generator draws (exactly one `next_u64` per sample).
+
+use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error returned by [`Zipf::new`] for invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` was zero.
+    NTooSmall,
+    /// The exponent was negative or not finite.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => f.write_str("Zipf requires n >= 1"),
+            ZipfError::STooSmall => f.write_str("Zipf requires a finite exponent >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`. Samples are returned as `f64` ranks (1-based), matching
+/// the real `rand_distr::Zipf`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Normalized cumulative probabilities; `cdf[k-1] = P(rank <= k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Zipf, ZipfError> {
+        if n < 1 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ranks_are_one_based_and_bounded() {
+        let z = Zipf::new(50, 1.07).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1.0..=50.0).contains(&r));
+            assert_eq!(r, r.trunc());
+        }
+    }
+
+    #[test]
+    fn head_ranks_dominate() {
+        let z = Zipf::new(1000, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) <= 10.0 {
+                head += 1;
+            }
+        }
+        // With s=1.2 the top-10 ranks carry well over a third of the mass.
+        assert!(head > n / 3, "only {head} of {n} samples in the head");
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for the `serde_json` crate: a [`Value`] tree with a
+//! sorted-key object representation, the [`json!`] macro, pretty printing,
+//! and a [`ToJson`] conversion trait standing in for `serde::Serialize`
+//! (this workspace has no proc-macro derive available offline, so types
+//! opt in with a small manual impl instead).
+//!
+//! Objects are `BTreeMap`s, so serialization order is always sorted by
+//! key — deliberately canonical, which the telemetry golden snapshots
+//! rely on.
+
+use std::collections::BTreeMap;
+
+/// A JSON value. Numbers keep their integer-ness: integers serialize
+/// without a decimal point, which matters for byte-stable snapshots.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => write_f64(out, *f),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        pad(out, indent + 1);
+                    }
+                    item.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    pad(out, indent);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        pad(out, indent + 1);
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    pad(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // serde_json always distinguishes floats from ints.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, 0, false);
+        f.write_str(&s)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+/// Conversion into a [`Value`] — the stand-in for `serde::Serialize`.
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+to_json_int!(i8, i16, i32, i64, isize);
+
+macro_rules! to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+to_json_uint!(u8, u16, u32, u64, usize);
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<T: ToJson> ToJson for BTreeMap<String, T> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+/// Convert anything [`ToJson`] into a [`Value`] (helper used by `json!`).
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+/// Serialize compactly (no whitespace). Infallible here, but keeps the
+/// `Result` shape of the real crate.
+pub fn to_string<T: ToJson + ?Sized>(v: &T) -> Result<String, std::convert::Infallible> {
+    let mut s = String::new();
+    v.to_json().write(&mut s, 0, false);
+    Ok(s)
+}
+
+/// Serialize with two-space indentation, like the real crate.
+pub fn to_string_pretty<T: ToJson + ?Sized>(v: &T) -> Result<String, std::convert::Infallible> {
+    let mut s = String::new();
+    v.to_json().write(&mut s, 0, true);
+    Ok(s)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Keys must be string
+/// literals; values are expressions implementing [`ToJson`] (for a nested
+/// object literal, nest another `json!` call explicitly).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert($key.to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_sorted_objects() {
+        let v = json!({"b": 2, "a": 1, "s": "x"});
+        assert_eq!(v.to_string(), r#"{"a":1,"b":2,"s":"x"}"#);
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(json!(1.0f64).to_string(), "1.0");
+        assert_eq!(json!(1.5f64).to_string(), "1.5");
+        assert_eq!(json!(3usize).to_string(), "3");
+    }
+
+    #[test]
+    fn pretty_printing_is_stable() {
+        let v = json!({"k": [1, 2], "m": json!({"n": true})});
+        let expected = "{\n  \"k\": [\n    1,\n    2\n  ],\n  \"m\": {\n    \"n\": true\n  }\n}";
+        assert_eq!(to_string_pretty(&v).unwrap(), expected);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!("a\"b\\c\nd");
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn value_compares_with_str() {
+        let v = json!({"name": "chord"});
+        assert!(v["name"] == "chord");
+    }
+}
