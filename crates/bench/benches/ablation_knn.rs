@@ -53,7 +53,7 @@ fn main() {
             )
         })
         .collect();
-    radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    radii.sort_by(|a, b| a.total_cmp(b));
     let est_radius = radii[radii.len() / 2];
     let max_d = setup.dataset.max_distance();
     println!(

@@ -20,6 +20,9 @@
 //!   --pastry         run on the Pastry substrate
 //!   --rotate         apply the space-mapping rotation
 //!   --no-pns         plain Chord fingers (no proximity selection)
+//!   --replicate R    retry/failover + publish to R successor replicas
+//!   --loss P         drop each message with probability P (e.g. 0.1)
+//!   --churn N        inject N crash/restart pairs across the workload
 //!   --explain        print a step-by-step trace of one query's resolution
 //!   --telemetry      after the sweep, print the run's telemetry summary,
 //!                    the recorded plan of query 0, and save the full
@@ -75,6 +78,14 @@ fn parse_args() -> (Scale, SynthRun, Vec<f64>, bool, bool) {
             "--pastry" => run.overlay = OverlayKind::Pastry,
             "--rotate" => run.rotate = true,
             "--no-pns" => run.pns = 0,
+            "--replicate" => {
+                run.resilience = Some(simsearch::ResilienceConfig {
+                    replication: value(&mut i).parse().expect("--replicate"),
+                    ..simsearch::ResilienceConfig::default()
+                })
+            }
+            "--loss" => run.loss = value(&mut i).parse().expect("--loss"),
+            "--churn" => run.churn = value(&mut i).parse().expect("--churn"),
             "--explain" => explain = true,
             "--telemetry" => telemetry = true,
             "--help" | "-h" => {

@@ -75,7 +75,7 @@ pub fn print_series(title: &str, rows: &[Row], metric: impl Fn(&Row) -> f64) {
         }
     }
     let mut factors: Vec<f64> = rows.iter().map(|r| r.range_factor).collect();
-    factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    factors.sort_by(|a, b| a.total_cmp(b));
     factors.dedup();
 
     println!("\n== {title} ==");
@@ -192,6 +192,7 @@ mod tests {
             responses: 2,
             results: vec![],
             recall,
+            degraded: false,
         };
         let row = Row::from_outcomes("X", 0.05, &[mk(1.0, 4), mk(0.5, 8)]);
         assert_eq!(row.recall, 0.75);

@@ -83,6 +83,12 @@ pub struct SynthRun {
     pub overlay: OverlayKind,
     /// Join-time balancing (node ids split the heaviest range).
     pub load_aware_join: bool,
+    /// Retry/failover + replicated publication (churn scenarios).
+    pub resilience: Option<simsearch::ResilienceConfig>,
+    /// Uniform message-drop probability applied to the query phase.
+    pub loss: f64,
+    /// Crash/restart pairs injected across the query phase.
+    pub churn: usize,
 }
 
 impl SynthRun {
@@ -102,7 +108,53 @@ impl SynthRun {
             rotate: false,
             overlay: OverlayKind::Chord,
             load_aware_join: false,
+            resilience: None,
+            loss: 0.0,
+            churn: 0,
         }
+    }
+}
+
+/// Inject `pairs` crash/restart pairs, spread across the expected span of
+/// an `n_queries`-query workload. Victims are picked deterministically:
+/// never a query origin (it holds the query's merge state) and never
+/// ring-adjacent to another victim (with `r = 2`, two adjacent nodes
+/// down together would take an owner and its replica holder at once).
+pub fn schedule_churn(
+    system: &mut SearchSystem,
+    n_queries: usize,
+    mean_interarrival_s: f64,
+    pairs: usize,
+) {
+    let origins: Vec<simnet::AgentId> = system
+        .query_schedule(n_queries, mean_interarrival_s)
+        .into_iter()
+        .map(|(_, o)| o)
+        .collect();
+    let ring: Vec<simnet::AgentId> = system.ring().nodes().iter().map(|n| n.addr).collect();
+    let n = ring.len();
+    let mut victims: Vec<usize> = Vec::new();
+    for (pos, addr) in ring.iter().enumerate() {
+        if victims.len() == pairs {
+            break;
+        }
+        let adjacent = victims
+            .iter()
+            .any(|&v| (pos + n - v) % n <= 1 || (v + n - pos) % n <= 1);
+        if !origins.contains(addr) && !adjacent {
+            victims.push(pos);
+        }
+    }
+    assert_eq!(
+        victims.len(),
+        pairs,
+        "ring too small for {pairs} non-adjacent churn victims"
+    );
+    let span = mean_interarrival_s * n_queries as f64;
+    for (i, &pos) in victims.iter().enumerate() {
+        let t0 = span * (i as f64 + 0.5) / (pairs as f64 + 1.0);
+        system.schedule_crash(simnet::SimTime::from_secs_f64(t0), ring[pos]);
+        system.schedule_restart(simnet::SimTime::from_secs_f64(t0 + 0.25 * span), ring[pos]);
     }
 }
 
@@ -206,9 +258,16 @@ pub fn run_synth_system(
         lb: run.lb,
         overlay: run.overlay,
         load_aware_join: run.load_aware_join,
+        resilience: run.resilience.clone(),
         ..SystemConfig::default()
     };
     let mut system = SearchSystem::build(cfg, &[spec], oracle);
+    if run.loss > 0.0 {
+        system.set_loss_rate(run.loss);
+    }
+    if run.churn > 0 {
+        schedule_churn(&mut system, queries.len(), 150.0, run.churn);
+    }
     let outcomes = system.run_queries(&queries, 150.0);
 
     let rows = group_rows(&run.label(), factors, nq, &outcomes);

@@ -180,20 +180,52 @@ impl RoutingTable {
     /// The routing decision for `key` — the dispatch at the heart of the
     /// paper's Algorithm 3 (`nexthop`, lines 15–20).
     pub fn route(&self, key: ChordId) -> RouteDecision {
+        self.route_excluding(key, |_| false)
+    }
+
+    /// [`RoutingTable::route`] that refuses to hand the key to any node
+    /// `is_dead` reports as suspected: the closest-preceding choice skips
+    /// dead fingers (falling back to farther-preceding live ones), and
+    /// the surrogate is the first *live* entry of the successor list —
+    /// exactly the node that owns a dead successor's key range. The
+    /// table itself is untouched; suspicion is the caller's state, so a
+    /// recovered node routes normally again the moment the caller stops
+    /// reporting it.
+    pub fn route_excluding(&self, key: ChordId, is_dead: impl Fn(u64) -> bool) -> RouteDecision {
         if self.owns(key) {
             return RouteDecision::Local;
         }
-        let cp = self.closest_preceding(key);
-        if cp.id == self.me.id {
-            match self.successor() {
-                // key ∈ (me, successor]: successor is the surrogate.
-                Some(s) => RouteDecision::Surrogate(s),
-                // Lone node: it owns everything (owns() already caught
-                // this when predecessor is unknown).
+        let mut best = self.me;
+        let mut best_dist = u64::MAX;
+        let candidates = self
+            .fingers
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.successors.iter().copied());
+        for c in candidates {
+            if is_dead(c.id.0) {
+                continue;
+            }
+            if c.id.in_open(self.me.id, key) {
+                let d = c.id.cw_dist(key);
+                if d < best_dist {
+                    best_dist = d;
+                    best = c;
+                }
+            }
+        }
+        if best.id == self.me.id {
+            match self.successors.iter().find(|s| !is_dead(s.id.0)) {
+                // No live node precedes the key: the first live successor
+                // owns it (it inherited every dead predecessor's range).
+                Some(s) => RouteDecision::Surrogate(*s),
+                // Everyone we know is dead: answer locally as a last
+                // resort rather than routing into a void.
                 None => RouteDecision::Local,
             }
         } else {
-            RouteDecision::Forward(cp)
+            RouteDecision::Forward(best)
         }
     }
 }
@@ -321,5 +353,47 @@ mod tests {
     fn lone_node_routes_local() {
         let t = RoutingTable::new(node(42), 16);
         assert_eq!(t.route(ChordId(7)), RouteDecision::Local);
+    }
+
+    #[test]
+    fn route_excluding_skips_dead_forward_target() {
+        let mut t = table_with(100, &[200, 400, 800]);
+        t.set_predecessor(Some(node(900)));
+        // Normally 400 is the closest preceding node for key 500; with
+        // 400 suspected, routing falls back to the next-best live entry.
+        assert_eq!(t.route(ChordId(500)), RouteDecision::Forward(node(400)));
+        let dead = |id: u64| id == 400;
+        assert_eq!(
+            t.route_excluding(ChordId(500), dead),
+            RouteDecision::Forward(node(200))
+        );
+    }
+
+    #[test]
+    fn route_excluding_surrogate_is_first_live_successor() {
+        let mut t = table_with(100, &[200, 400, 800]);
+        t.set_predecessor(Some(node(900)));
+        // Key 150 is owned by successor 200; with 200 dead its range is
+        // inherited by the next live successor, 400.
+        assert_eq!(t.route(ChordId(150)), RouteDecision::Surrogate(node(200)));
+        assert_eq!(
+            t.route_excluding(ChordId(150), |id| id == 200),
+            RouteDecision::Surrogate(node(400))
+        );
+        // With every successor dead, answering locally is the last resort.
+        assert_eq!(
+            t.route_excluding(ChordId(150), |_| true),
+            RouteDecision::Local
+        );
+    }
+
+    #[test]
+    fn route_excluding_ownership_unaffected_by_suspicion() {
+        let mut t = table_with(100, &[200]);
+        t.set_predecessor(Some(node(900)));
+        assert_eq!(
+            t.route_excluding(ChordId(50), |_| true),
+            RouteDecision::Local
+        );
     }
 }

@@ -134,7 +134,7 @@ impl Centroid for metric::SparseVector {
         // dense-centroid property the TREC experiment depends on.
         const MAX_CENTROID_TERMS: usize = 4096;
         if pairs.len() > MAX_CENTROID_TERMS {
-            pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             pairs.truncate(MAX_CENTROID_TERMS);
         }
         metric::SparseVector::new(pairs)
@@ -397,7 +397,7 @@ mod tests {
         let centers = kmeans::<_, [f32], _>(&L2::new(), &sample, 2, 20, &mut rng());
         assert_eq!(centers.len(), 2);
         let mut means: Vec<f32> = centers.iter().map(|c| c[0]).collect();
-        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        means.sort_by(|a, b| a.total_cmp(b));
         // True cluster means are 0.45 and 100.45.
         assert!((means[0] - 0.45).abs() < 0.2, "low center {}", means[0]);
         assert!((means[1] - 100.45).abs() < 0.2, "high center {}", means[1]);

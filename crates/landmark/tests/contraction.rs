@@ -14,6 +14,16 @@ fn linf(a: &[f64], b: &[f64]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// Lexicographic total order on float vectors (NaN-safe, unlike the
+/// `PartialOrd` for `Vec<f32>`).
+fn lex(a: &[f32], b: &[f32]) -> std::cmp::Ordering {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.total_cmp(y))
+        .find(|o| o.is_ne())
+        .unwrap_or_else(|| a.len().cmp(&b.len()))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -85,12 +95,12 @@ proptest! {
         let mut rng = SimRng::new(seed);
         let metric = L2::new();
         let mut dedup = sample.clone();
-        dedup.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dedup.sort_by(|a, b| lex(a, b));
         dedup.dedup();
         let k = 4.min(dedup.len());
         let lms = greedy::<_, [f32], _>(&metric, &dedup, k, &mut rng);
         let mut sorted = lms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| lex(a, b));
         sorted.dedup();
         prop_assert_eq!(sorted.len(), k, "greedy picked duplicates");
     }

@@ -480,6 +480,26 @@ mod tests {
         }
     }
 
+    /// A zero-radius ball is a single point; it must resolve to exactly
+    /// one full-depth fragment — the cell `hash` assigns the point to —
+    /// including on cell midpoints and the space boundary.
+    #[test]
+    fn zero_extent_rect_decomposes_to_one_full_depth_cell() {
+        let g = grid2();
+        for p in [
+            vec![3.3, 5.7],
+            vec![4.0, 4.0],
+            vec![0.0, 0.0],
+            vec![8.0, 8.0],
+        ] {
+            let rect = Rect::ball(&p, 0.0, g.bounds());
+            let parts = g.decompose(&rect, g.depth());
+            assert_eq!(parts.len(), 1, "point {p:?} must be a single lookup");
+            assert_eq!(parts[0].prefix.len(), g.depth());
+            assert_eq!(parts[0].prefix, Prefix::new(g.hash(&p), g.depth()));
+        }
+    }
+
     #[test]
     fn uniform_constructor() {
         let g = Grid::uniform(10, 0.0, 1000.0);

@@ -100,7 +100,7 @@ impl<T> Dataset<T> {
                 (d <= radius).then_some((id, d))
             })
             .collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
 }
@@ -192,5 +192,20 @@ mod tests {
         );
         assert!(ds.range(&L2::new(), &q[..], 0.0).len() == 1);
         assert_eq!(ds.range(&L2::new(), &q[..], 100.0).len(), 5);
+    }
+
+    /// An object with NaN coordinates produces NaN distances; neither
+    /// scan may panic, and NaN never satisfies a range predicate.
+    #[test]
+    fn nan_coordinates_never_panic_a_scan() {
+        let mut ds = toy();
+        let nan_id = ds.push(vec![f32::NAN, f32::NAN]);
+        let q = [0.0f32, 0.0];
+        let knn = ds.knn(&L2::new(), &q[..], 3);
+        assert_eq!(knn.len(), 3);
+        let hits = ds.range(&L2::new(), &q[..], 100.0);
+        assert!(hits.iter().all(|&(_, d)| d.is_finite()));
+        assert!(hits.iter().all(|&(id, _)| id != nan_id));
+        assert_eq!(hits.len(), 5);
     }
 }

@@ -22,6 +22,11 @@ pub(crate) enum EventKind<M> {
     Deliver { from: AgentId, msg: M },
     /// Fire a timer previously scheduled by the destination agent.
     Timer { tag: TimerTag },
+    /// The destination host crashes: until it restarts, messages and
+    /// timers addressed to it are discarded.
+    Crash,
+    /// The destination host comes back up.
+    Restart,
 }
 
 pub(crate) struct Event<M> {

@@ -1,0 +1,126 @@
+//! Deterministic fault injection.
+//!
+//! p2psim evaluates DHTs under adversity — lossy links, slow paths, and
+//! churn — and the paper's resilience story (§3.3: the index maintains
+//! "no extra routing structure beyond Chord itself") is only testable
+//! under the same conditions. This module is the configuration surface
+//! for that adversity: every fault is drawn from its own seeded RNG
+//! stream or from an explicit schedule, so a faulty run is exactly as
+//! reproducible as a calm one.
+//!
+//! The default [`FaultPlane`] is a strict no-op: zero probabilities, no
+//! partitions. Simulations that never call [`crate::Sim::set_faults`]
+//! (or [`crate::Sim::schedule_crash`]) behave byte-identically to a
+//! build without this module.
+
+use crate::time::SimTime;
+
+/// A scheduled network partition: during `[from, until)` messages may
+/// only cross between hosts on the same side of the cut.
+#[derive(Clone, Debug)]
+pub struct PartitionWindow {
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive); healed from this instant on.
+    pub until: SimTime,
+    /// Side assignment, one entry per agent id. Messages between agents
+    /// with differing entries are dropped while the window is active.
+    pub island: Vec<bool>,
+}
+
+impl PartitionWindow {
+    /// Does this window sever the `(a, b)` link at time `now`?
+    pub(crate) fn severs(&self, now: SimTime, a: usize, b: usize) -> bool {
+        now >= self.from
+            && now < self.until
+            && self.island.get(a).copied().unwrap_or(false)
+                != self.island.get(b).copied().unwrap_or(false)
+    }
+}
+
+/// Per-scenario fault configuration. All rates are independent
+/// per-message probabilities applying to cross-host traffic only;
+/// self-sends are a local function call and never fault.
+#[derive(Clone, Debug)]
+pub struct FaultPlane {
+    /// Probability that a message is silently dropped on the wire.
+    pub drop_rate: f64,
+    /// Probability that a message is delivered twice (the duplicate
+    /// arrives one extra propagation delay after the original).
+    pub dup_rate: f64,
+    /// Probability that a message experiences a latency spike.
+    pub spike_rate: f64,
+    /// One-way delay multiplier applied to spiked messages.
+    pub spike_factor: f64,
+    /// Scheduled partitions; any active window can sever a link.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl Default for FaultPlane {
+    fn default() -> Self {
+        FaultPlane {
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            spike_rate: 0.0,
+            spike_factor: 1.0,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlane {
+    /// Validate the configured rates; called by `Sim::set_faults`.
+    pub(crate) fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.drop_rate),
+            "drop rate must be in [0, 1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.dup_rate),
+            "dup rate must be in [0, 1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.spike_rate),
+            "spike rate must be in [0, 1)"
+        );
+        assert!(self.spike_factor >= 1.0, "spike factor must be >= 1");
+        for w in &self.partitions {
+            assert!(w.from <= w.until, "partition window must not be inverted");
+        }
+    }
+
+    /// True when any partition window severs `(a, b)` at `now`.
+    pub(crate) fn partitioned(&self, now: SimTime, a: usize, b: usize) -> bool {
+        self.partitions.iter().any(|w| w.severs(now, a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop() {
+        let f = FaultPlane::default();
+        assert_eq!(f.drop_rate, 0.0);
+        assert_eq!(f.dup_rate, 0.0);
+        assert_eq!(f.spike_rate, 0.0);
+        assert!(f.partitions.is_empty());
+        assert!(!f.partitioned(SimTime::ZERO, 0, 1));
+    }
+
+    #[test]
+    fn partition_window_severs_only_across_the_cut_and_only_in_window() {
+        let w = PartitionWindow {
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(2),
+            island: vec![true, true, false],
+        };
+        let mid = SimTime::from_millis(1500);
+        assert!(w.severs(mid, 0, 2));
+        assert!(w.severs(mid, 2, 1));
+        assert!(!w.severs(mid, 0, 1), "same side stays connected");
+        assert!(!w.severs(SimTime::ZERO, 0, 2), "before the window");
+        assert!(!w.severs(SimTime::from_secs(2), 0, 2), "until is exclusive");
+    }
+}

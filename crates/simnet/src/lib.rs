@@ -53,6 +53,7 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod sim;
 pub mod stats;
@@ -61,6 +62,7 @@ pub mod time;
 pub mod topology;
 
 pub use event::TimerTag;
+pub use fault::{FaultPlane, PartitionWindow};
 pub use rng::SimRng;
 pub use sim::{Agent, AgentId, Ctx, Sim};
 pub use stats::NetStats;

@@ -1,6 +1,7 @@
 //! The simulation driver: agents, contexts, and the event loop.
 
 use crate::event::{EventKind, EventQueue, TimerTag};
+use crate::fault::FaultPlane;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
@@ -28,6 +29,16 @@ pub trait Agent {
 
     /// Called when a timer scheduled by this agent fires.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _tag: TimerTag) {}
+
+    /// Called when a scheduled crash takes this host down. The agent
+    /// keeps its state (a restart is a reboot, not a wipe) but all of
+    /// its pending timers are discarded; use this hook to drop whatever
+    /// bookkeeping assumed those timers would fire.
+    fn on_crash(&mut self) {}
+
+    /// Called when a crashed host comes back up; the agent may re-arm
+    /// timers or re-announce itself here.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
 }
 
 /// Everything except the agents themselves: clock, queue, network model.
@@ -37,9 +48,16 @@ struct Core<M> {
     topo: Topology,
     rng: SimRng,
     stats: NetStats,
-    /// Probability that a cross-host message is silently dropped.
-    loss_rate: f64,
-    loss_rng: SimRng,
+    /// Fault-injection configuration (default: strict no-op).
+    faults: FaultPlane,
+    /// Independent RNG streams, one per fault kind, so enabling one
+    /// fault never perturbs the draw sequence of another.
+    drop_rng: SimRng,
+    dup_rng: SimRng,
+    spike_rng: SimRng,
+    /// Liveness per agent; down hosts silently discard messages and
+    /// timers until their scheduled restart.
+    down: Vec<bool>,
 }
 
 /// The capability handle given to agent callbacks.
@@ -67,19 +85,46 @@ impl<'a, M> Ctx<'a, M> {
     /// Send `msg` to `dst`; it arrives after the one-way propagation delay
     /// between the two hosts. `bytes` is the modelled wire size and feeds
     /// the bandwidth accounting. A message to oneself is delivered with
-    /// zero delay and does not count as network traffic.
-    pub fn send(&mut self, dst: AgentId, msg: M, bytes: u32) {
+    /// zero delay, does not count as network traffic, and is exempt from
+    /// every fault (it never touches the wire).
+    pub fn send(&mut self, dst: AgentId, msg: M, bytes: u32)
+    where
+        M: Clone,
+    {
         let delay = if dst == self.me {
             SimDuration::ZERO
         } else {
             self.core.stats.on_send(bytes);
-            if self.core.loss_rate > 0.0 && self.core.loss_rng.f64() < self.core.loss_rate {
+            let faults = &self.core.faults;
+            if faults.drop_rate > 0.0 && self.core.drop_rng.f64() < faults.drop_rate {
                 // Lost on the wire: it consumed bandwidth but never
                 // arrives. Loss applies only to cross-host traffic.
                 self.core.stats.dropped += 1;
                 return;
             }
-            self.core.topo.one_way(self.me.0, dst.0)
+            if faults.partitioned(self.core.now, self.me.0, dst.0) {
+                self.core.stats.partitioned += 1;
+                return;
+            }
+            let mut delay = self.core.topo.one_way(self.me.0, dst.0);
+            if faults.spike_rate > 0.0 && self.core.spike_rng.f64() < faults.spike_rate {
+                delay = SimDuration(((delay.0 as f64) * faults.spike_factor).round() as u64);
+                self.core.stats.spiked += 1;
+            }
+            if faults.dup_rate > 0.0 && self.core.dup_rng.f64() < faults.dup_rate {
+                // The duplicate trails the original by one extra
+                // propagation delay, as if retransmitted by the network.
+                self.core.stats.duplicated += 1;
+                self.core.queue.push(
+                    self.core.now + delay + delay,
+                    dst,
+                    EventKind::Deliver {
+                        from: self.me,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+            delay
         };
         let at = self.core.now + delay;
         self.core
@@ -120,6 +165,7 @@ impl<A: Agent> Sim<A> {
             agents.len(),
             "one agent per topology host required"
         );
+        let n = agents.len();
         Sim {
             core: Core {
                 now: SimTime::ZERO,
@@ -127,8 +173,11 @@ impl<A: Agent> Sim<A> {
                 topo,
                 rng: SimRng::new(seed).fork(0x51B0),
                 stats: NetStats::default(),
-                loss_rate: 0.0,
-                loss_rng: SimRng::new(seed).fork(0x1055),
+                faults: FaultPlane::default(),
+                drop_rng: SimRng::new(seed).fork(0x1055),
+                dup_rng: SimRng::new(seed).fork(0xD0B1),
+                spike_rng: SimRng::new(seed).fork(0x5B1C),
+                down: vec![false; n],
             },
             agents,
             started: false,
@@ -137,10 +186,44 @@ impl<A: Agent> Sim<A> {
 
     /// Drop each cross-host message independently with probability
     /// `rate` (0.0 = reliable network, the default). Deterministic in
-    /// the simulation seed.
+    /// the simulation seed. Shorthand for configuring only the drop
+    /// fault of [`Sim::set_faults`].
     pub fn set_loss_rate(&mut self, rate: f64) {
         assert!((0.0..1.0).contains(&rate), "loss rate must be in [0, 1)");
-        self.core.loss_rate = rate;
+        self.core.faults.drop_rate = rate;
+    }
+
+    /// Install a fault-injection configuration. Each fault kind draws
+    /// from its own RNG stream forked off the simulation seed, so runs
+    /// are reproducible and enabling one fault does not perturb the
+    /// draw sequence of the others.
+    pub fn set_faults(&mut self, faults: FaultPlane) {
+        faults.validate();
+        self.core.faults = faults;
+    }
+
+    /// The active fault configuration.
+    pub fn faults(&self) -> &FaultPlane {
+        &self.core.faults
+    }
+
+    /// Schedule `who` to crash at absolute time `at`. While down the
+    /// host discards every message and timer addressed to it; its agent
+    /// state survives (a crash models a reboot, not a disk wipe).
+    pub fn schedule_crash(&mut self, at: SimTime, who: AgentId) {
+        assert!(at >= self.core.now, "cannot schedule a crash in the past");
+        self.core.queue.push(at, who, EventKind::Crash);
+    }
+
+    /// Schedule `who` to come back up at absolute time `at`.
+    pub fn schedule_restart(&mut self, at: SimTime, who: AgentId) {
+        assert!(at >= self.core.now, "cannot schedule a restart in the past");
+        self.core.queue.push(at, who, EventKind::Restart);
+    }
+
+    /// Is `who` currently crashed?
+    pub fn is_down(&self, who: AgentId) -> bool {
+        self.core.down[who.0]
     }
 
     /// Inject an external message for `dst`, delivered at absolute time
@@ -179,6 +262,33 @@ impl<A: Agent> Sim<A> {
         self.core.now = ev.time;
         self.core.stats.events += 1;
         let dst = ev.dst;
+        match ev.kind {
+            EventKind::Crash => {
+                self.core.down[dst.0] = true;
+                self.core.stats.crashes += 1;
+                self.agents[dst.0].on_crash();
+                return true;
+            }
+            EventKind::Restart => {
+                self.core.down[dst.0] = false;
+                self.core.stats.restarts += 1;
+                let ctx = &mut Ctx {
+                    core: &mut self.core,
+                    me: dst,
+                };
+                self.agents[dst.0].on_restart(ctx);
+                return true;
+            }
+            _ => {}
+        }
+        if self.core.down[dst.0] {
+            // A down host discards everything addressed to it. Timers
+            // vanish for good; crashed agents re-arm via `on_restart`.
+            if matches!(ev.kind, EventKind::Deliver { .. }) {
+                self.core.stats.dropped_down += 1;
+            }
+            return true;
+        }
         let ctx = &mut Ctx {
             core: &mut self.core,
             me: dst,
@@ -189,6 +299,7 @@ impl<A: Agent> Sim<A> {
                 self.agents[dst.0].on_timer(ctx, tag);
                 self.core.stats.timers += 1;
             }
+            EventKind::Crash | EventKind::Restart => unreachable!("handled above"),
         }
         true
     }
@@ -542,6 +653,164 @@ mod tests {
         sim.run();
         assert_eq!(sim.agent(AgentId(0)).received, 100);
         assert_eq!(sim.stats().dropped, 0);
+    }
+
+    use crate::fault::{FaultPlane, PartitionWindow};
+
+    /// Counts arrivals and lifecycle events; the workhorse for
+    /// fault-plane tests.
+    struct Counter {
+        received: u32,
+        crashes: u32,
+        restarts: u32,
+    }
+    impl Counter {
+        fn new() -> Self {
+            Counter {
+                received: 0,
+                crashes: 0,
+                restarts: 0,
+            }
+        }
+    }
+    impl Agent for Counter {
+        type Msg = u8;
+        fn on_message(&mut self, _: &mut Ctx<'_, u8>, _: AgentId, _: u8) {
+            self.received += 1;
+        }
+        fn on_crash(&mut self) {
+            self.crashes += 1;
+        }
+        fn on_restart(&mut self, _ctx: &mut Ctx<'_, u8>) {
+            self.restarts += 1;
+        }
+    }
+
+    /// Forwards every injected message from agent 0 to agent 1, and
+    /// counts arrivals everywhere.
+    struct Forwarder {
+        received: u32,
+    }
+    impl Agent for Forwarder {
+        type Msg = u8;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u8>, _from: AgentId, msg: u8) {
+            self.received += 1;
+            if ctx.me() == AgentId(0) {
+                ctx.send(AgentId(1), msg, 10);
+            }
+        }
+    }
+
+    fn forwarder_pair(one_way_ms: u64, seed: u64) -> Sim<Forwarder> {
+        let topo = Topology::uniform(2, SimTime::from_millis(one_way_ms));
+        Sim::new(
+            topo,
+            vec![Forwarder { received: 0 }, Forwarder { received: 0 }],
+            seed,
+        )
+    }
+
+    #[test]
+    fn duplication_delivers_twice_deterministically() {
+        let run = |seed: u64| {
+            let mut sim = forwarder_pair(10, seed);
+            sim.set_faults(FaultPlane {
+                dup_rate: 0.25,
+                ..FaultPlane::default()
+            });
+            for _ in 0..200 {
+                sim.inject(SimTime::ZERO, AgentId(0), 1);
+            }
+            sim.run();
+            (sim.agent(AgentId(1)).received, sim.stats().duplicated)
+        };
+        let (recv_a, dup_a) = run(3);
+        assert_eq!(run(3), (recv_a, dup_a), "duplication must be seeded");
+        // Each of the 200 forwards arrives once, plus once per duplicate.
+        assert_eq!(recv_a as u64, 200 + dup_a);
+        assert!((20..100).contains(&dup_a), "duplicated {dup_a}");
+    }
+
+    #[test]
+    fn latency_spikes_delay_but_never_lose() {
+        let mut sim = forwarder_pair(100, 11);
+        sim.set_faults(FaultPlane {
+            spike_rate: 0.5,
+            spike_factor: 10.0,
+            ..FaultPlane::default()
+        });
+        for _ in 0..40 {
+            sim.inject(SimTime::ZERO, AgentId(0), 1);
+        }
+        sim.run();
+        // Every forward arrives: the plain ones after the 50 ms one-way
+        // delay, the spiked ones after 500 ms.
+        assert_eq!(sim.agent(AgentId(1)).received, 40);
+        let spiked = sim.stats().spiked;
+        assert!((5..35).contains(&spiked), "spiked {spiked}");
+        assert_eq!(sim.now(), SimTime::from_millis(500));
+        assert_eq!(sim.stats().dropped, 0);
+    }
+
+    #[test]
+    fn crash_discards_messages_until_restart() {
+        let topo = Topology::uniform(2, SimTime::from_millis(10));
+        let mut sim = Sim::new(topo, vec![Counter::new(), Counter::new()], 1);
+        for i in 0..20u64 {
+            sim.inject(SimTime::from_millis(i), AgentId(1), 0);
+        }
+        sim.schedule_crash(SimTime::from_micros(4_500), AgentId(1));
+        sim.schedule_restart(SimTime::from_micros(11_500), AgentId(1));
+        sim.run();
+        let agent = sim.agent(AgentId(1));
+        // 20 injected, 7 fell in the down window (t = 5..=11 ms).
+        assert_eq!(agent.received, 13);
+        assert_eq!(agent.crashes, 1);
+        assert_eq!(agent.restarts, 1);
+        assert_eq!(sim.stats().dropped_down, 7);
+        assert_eq!(sim.stats().crashes, 1);
+        assert_eq!(sim.stats().restarts, 1);
+        assert!(!sim.is_down(AgentId(1)));
+    }
+
+    #[test]
+    fn crashed_agent_timers_are_discarded() {
+        let topo = Topology::uniform(1, SimTime::from_millis(10));
+        let mut sim = Sim::new(
+            topo,
+            vec![Beeper {
+                beeps: vec![],
+                remaining: 10,
+            }],
+            0,
+        );
+        // The beeper re-arms from each firing; crashing it swallows the
+        // pending timer, so the chain stays dead even after restart.
+        sim.schedule_crash(SimTime::from_millis(2_500), AgentId(0));
+        sim.schedule_restart(SimTime::from_millis(4_500), AgentId(0));
+        sim.run();
+        assert_eq!(sim.agent(AgentId(0)).beeps.len(), 2);
+    }
+
+    #[test]
+    fn partition_windows_sever_cross_island_links_only() {
+        let mut sim = forwarder_pair(10, 1);
+        sim.set_faults(FaultPlane {
+            partitions: vec![PartitionWindow {
+                from: SimTime::from_millis(5),
+                until: SimTime::from_millis(10),
+                island: vec![true, false],
+            }],
+            ..FaultPlane::default()
+        });
+        for i in 0..15u64 {
+            sim.inject(SimTime::from_millis(i), AgentId(0), 0);
+        }
+        sim.run();
+        // Forwards sent at t in [5, 10) were severed: 5 of 15.
+        assert_eq!(sim.stats().partitioned, 5);
+        assert_eq!(sim.stats().messages, 15);
+        assert_eq!(sim.agent(AgentId(1)).received, 10);
     }
 
     #[test]

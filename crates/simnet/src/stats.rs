@@ -17,6 +17,18 @@ pub struct NetStats {
     pub events: u64,
     /// Cross-host messages dropped by the loss model.
     pub dropped: u64,
+    /// Messages discarded because the destination host was down.
+    pub dropped_down: u64,
+    /// Messages discarded by an active network partition.
+    pub partitioned: u64,
+    /// Messages delivered twice by the duplication fault.
+    pub duplicated: u64,
+    /// Messages whose delivery was delayed by a latency spike.
+    pub spiked: u64,
+    /// Crash events fired.
+    pub crashes: u64,
+    /// Restart events fired.
+    pub restarts: u64,
 }
 
 impl NetStats {

@@ -202,7 +202,7 @@ mod tests {
             // Match the system's f32-precision oracle ordering.
             let fa = a.1 as f32;
             let fb = b.1 as f32;
-            fa.partial_cmp(&fb).unwrap().then(a.0.cmp(&b.0))
+            fa.total_cmp(&fb).then(a.0.cmp(&b.0))
         });
         d.into_iter().take(k).map(|(id, _)| id).collect()
     }

@@ -21,6 +21,9 @@
 //!   publish entries, optionally balance load, inject a query workload,
 //!   run the simulation, and fold per-query metrics (hops, response
 //!   time, maximum latency, bandwidth, recall — §4.1's metric set);
+//! * [`resilience`] — opt-in retry/failover and replicated publication
+//!   so queries keep full recall under the fault plane [`simnet`]
+//!   injects (loss, latency spikes, crash/restart churn);
 //! * [`stats`] — result aggregation helpers (percentiles, series);
 //! * [`telemetry`] — per-query traces (hop/split/refine/answer events)
 //!   plus the run-wide counter registry; serialized canonically so
@@ -40,6 +43,7 @@ pub mod msg;
 pub mod node;
 pub mod overlay;
 pub mod refresh;
+pub mod resilience;
 pub mod routing;
 pub mod stats;
 pub mod store;
@@ -50,8 +54,9 @@ pub use explain::{ExplainReport, ExplainStep, StepKind};
 pub use knn::KnnOutcome;
 pub use msg::{QueryDistance, QueryId, SearchMsg, SubQueryMsg};
 pub use node::SearchNode;
-pub use overlay::{Overlay, OverlayKind, OverlayTable};
+pub use overlay::{FailureAware, Overlay, OverlayKind, OverlayTable};
 pub use refresh::ReindexReport;
+pub use resilience::ResilienceConfig;
 pub use routing::{
     route_subquery, route_subquery_traced, surrogate_refine, surrogate_refine_traced, Action,
     RoutingEvent,

@@ -64,6 +64,10 @@ pub enum SearchMsg {
         /// `(object, true distance)` — the node's `k` nearest matching
         /// local entries.
         entries: Vec<(ObjectId, f64)>,
+        /// True when the answering node believes part of the fragment's
+        /// key range was lost with a dead node it holds no replicas for
+        /// — the origin's recall may silently be short otherwise.
+        degraded: bool,
     },
     /// Control: injected at the querying node to start a query. Carries
     /// the initial subquery (rect clipped, prefix computed by the
@@ -81,6 +85,35 @@ pub enum SearchMsg {
         /// Hops taken so far.
         hops: u32,
     },
+    /// A replica copy of an entry the sender owns, pushed to one of its
+    /// ring successors so the entry survives the owner's crash.
+    Replicate {
+        /// Target index scheme.
+        index: u8,
+        /// The publishing owner's ring identifier — replicas are only
+        /// answered on the owner's behalf once it is suspected dead.
+        owner: u64,
+        /// The replicated entry.
+        entry: crate::store::Entry,
+    },
+    /// Reliability envelope (resilient mode only): the payload plus a
+    /// retransmission sequence number and the sender's current list of
+    /// suspected-dead node identifiers (gossiped failure detection).
+    /// The receiver acks the `seq`, merges `dead`, deduplicates on
+    /// `(sender, seq)`, then processes `inner` exactly once.
+    Tracked {
+        /// Sender-local retransmission sequence number.
+        seq: u64,
+        /// Node ids the sender believes dead, sorted ascending.
+        dead: Vec<u64>,
+        /// The actual payload.
+        inner: Box<SearchMsg>,
+    },
+    /// Delivery acknowledgement for a [`SearchMsg::Tracked`] envelope.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
 }
 
 /// The paper's query-message size model:
@@ -95,6 +128,17 @@ pub fn result_msg_bytes(n_entries: usize) -> u32 {
     20 + 6 * n_entries as u32
 }
 
+/// Wire size of an [`SearchMsg::Ack`]: header + sequence number.
+pub fn ack_msg_bytes() -> u32 {
+    20 + 8
+}
+
+/// Extra wire bytes a [`SearchMsg::Tracked`] envelope adds to its
+/// payload: sequence number + dead-list length byte + one id per entry.
+pub fn tracked_overhead_bytes(n_dead: usize) -> u32 {
+    8 + 1 + 8 * n_dead as u32
+}
+
 /// Wire size of a message given the index dimensionality lookup.
 pub fn msg_bytes(msg: &SearchMsg, k_of_index: impl Fn(u8) -> usize) -> u32 {
     match msg {
@@ -106,6 +150,11 @@ pub fn msg_bytes(msg: &SearchMsg, k_of_index: impl Fn(u8) -> usize) -> u32 {
         SearchMsg::Results { entries, .. } => result_msg_bytes(entries.len()),
         SearchMsg::Issue(_) => 0,
         SearchMsg::Publish { entry, .. } => 20 + 8 + 4 + 8 * entry.point.len() as u32,
+        SearchMsg::Replicate { entry, .. } => 20 + 8 + 8 + 4 + 8 * entry.point.len() as u32,
+        SearchMsg::Tracked { dead, inner, .. } => {
+            tracked_overhead_bytes(dead.len()) + msg_bytes(inner, k_of_index)
+        }
+        SearchMsg::Ack { .. } => ack_msg_bytes(),
     }
 }
 
@@ -145,12 +194,60 @@ mod tests {
                     qid: 0,
                     hops: 3,
                     entries: vec![(ObjectId(1), 0.5); 4],
+                    degraded: false,
                 },
                 k
             ),
             44
         );
         assert_eq!(msg_bytes(&SearchMsg::Issue(sq), k), 0);
+    }
+
+    #[test]
+    fn resilience_message_sizes() {
+        let sq = SubQueryMsg {
+            qid: 0,
+            index: 0,
+            rect: Rect::cube(10, 0.0, 1.0),
+            prefix: Prefix::ROOT,
+            hops: 0,
+            origin: AgentId(0),
+        };
+        let k = |_: u8| 10usize;
+        assert_eq!(msg_bytes(&SearchMsg::Ack { seq: 7 }, k), 28);
+        // A tracked Refine with two suspects: 8 + 1 + 16 envelope bytes
+        // on top of the 73-byte payload.
+        let tracked = SearchMsg::Tracked {
+            seq: 1,
+            dead: vec![10, 20],
+            inner: Box::new(SearchMsg::Refine(sq)),
+        };
+        assert_eq!(msg_bytes(&tracked, k), 25 + 73);
+        let entry = crate::store::Entry {
+            ring_key: 5,
+            obj: ObjectId(1),
+            point: vec![0.0; 3].into_boxed_slice(),
+        };
+        // Replicate = Publish + 8 bytes for the owner id.
+        let pub_bytes = msg_bytes(
+            &SearchMsg::Publish {
+                index: 0,
+                entry: entry.clone(),
+                hops: 0,
+            },
+            k,
+        );
+        assert_eq!(
+            msg_bytes(
+                &SearchMsg::Replicate {
+                    index: 0,
+                    owner: 9,
+                    entry,
+                },
+                k
+            ),
+            pub_bytes + 8
+        );
     }
 
     #[test]

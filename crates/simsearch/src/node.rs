@@ -2,19 +2,23 @@
 //! messages, answers queries from its local store, and keeps the
 //! per-query cost accounting the experiments report.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use lph::{Grid, Rotation};
 use metric::ObjectId;
-use simnet::{Agent, AgentId, Ctx, SimTime};
+use simnet::{Agent, AgentId, Ctx, SimDuration, SimTime, TimerTag};
 
-use crate::msg::{msg_bytes, DistanceOracle, QueryId, SearchMsg, SubQueryMsg};
-use crate::overlay::Overlay;
+use crate::msg::{
+    ack_msg_bytes, msg_bytes, tracked_overhead_bytes, DistanceOracle, QueryId, SearchMsg,
+    SubQueryMsg,
+};
+use crate::overlay::{FailureAware, Overlay, OverlayTable};
+use crate::resilience::ResilienceConfig;
 use crate::routing::{
     route_subquery, route_subquery_traced, surrogate_refine, surrogate_refine_traced, Action,
 };
-use crate::store::Store;
+use crate::store::{Entry, Store};
 use crate::telemetry::{Telemetry, TraceEvent};
 
 /// One co-hosted index scheme's node-local state.
@@ -43,6 +47,28 @@ pub struct IssuedQuery {
     /// Merged `(object, distance)` results, ascending distance, capped at
     /// the system's `k` and deduplicated by object.
     pub merged: Vec<(ObjectId, f64)>,
+    /// True when any answering node flagged its reply as degraded: part
+    /// of the queried key range was lost with a dead node no replicas
+    /// exist for, so the merged result may be incomplete.
+    pub degraded: bool,
+}
+
+/// An unacknowledged cross-host message awaiting its retransmit timer.
+struct PendingSend {
+    /// Destination address.
+    to: AgentId,
+    /// Destination's ring identifier, when the routing table knows it —
+    /// the id that gets suspected if every retry times out.
+    dst_id: Option<u64>,
+    /// The unwrapped payload (re-wrapped with a fresh dead-list on each
+    /// retransmission).
+    msg: SearchMsg,
+    /// Payload wire size (without the tracking envelope).
+    bytes: u32,
+    /// Retransmissions performed so far.
+    attempts: u32,
+    /// The first timeout used; backoff grows geometrically from it.
+    first_timeout: SimDuration,
 }
 
 /// A node of the distributed index.
@@ -73,6 +99,20 @@ pub struct SearchNode {
     /// Shared telemetry of the system this node belongs to; `None`
     /// leaves the node untraced (standalone tests, ad-hoc worlds).
     pub telemetry: Option<Telemetry>,
+    /// `Some` switches on retry/failover and replica answering. `None`
+    /// (the default) keeps the wire protocol byte-identical to the
+    /// pre-resilience implementation.
+    pub resilience: Option<ResilienceConfig>,
+    /// Ring ids this node currently believes dead (local suspicion +
+    /// gossip merged from tracking envelopes).
+    pub suspected: BTreeSet<u64>,
+    /// Next tracking-envelope sequence number (monotonic per node).
+    next_seq: u64,
+    /// Unacked tracked sends, keyed by sequence number.
+    pending: BTreeMap<u64, PendingSend>,
+    /// `(sender, seq)` pairs already processed — retransmissions and
+    /// network duplicates are acked again but executed only once.
+    seen_tracked: HashSet<(usize, u64)>,
 }
 
 impl SearchNode {
@@ -96,12 +136,24 @@ impl SearchNode {
             query_msgs_sent: HashMap::new(),
             publishes_stored: Vec::new(),
             telemetry: None,
+            resilience: None,
+            suspected: BTreeSet::new(),
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            seen_tracked: HashSet::new(),
         }
     }
 
     /// Attach the system-wide telemetry handle (shared across nodes).
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Switch on retry/failover, replica answering, and failure-aware
+    /// routing with the given knobs.
+    pub fn enable_resilience(&mut self, rc: ResilienceConfig) {
+        rc.validate();
+        self.resilience = Some(rc);
     }
 
     /// Total entries stored across all indexes — the node's load.
@@ -124,6 +176,15 @@ impl SearchNode {
         split: bool,
     ) -> Vec<Action> {
         let qid = sq.qid;
+        if self.resilience.is_some() {
+            let fa = FailureAware::new(&self.table, &self.suspected);
+            return match &self.telemetry {
+                None => route_subquery(&fa, grid, rot, sq, split),
+                Some(tel) => route_subquery_traced(&fa, grid, rot, sq, split, &mut |ev| {
+                    tel.record_routing(qid, me, ev)
+                }),
+            };
+        }
         match &self.telemetry {
             None => route_subquery(&self.table, grid, rot, sq, split),
             Some(tel) => route_subquery_traced(&self.table, grid, rot, sq, split, &mut |ev| {
@@ -142,11 +203,118 @@ impl SearchNode {
         split: bool,
     ) -> Vec<Action> {
         let qid = sq.qid;
+        if self.resilience.is_some() {
+            let fa = FailureAware::new(&self.table, &self.suspected);
+            return match &self.telemetry {
+                None => surrogate_refine(&fa, grid, rot, sq, split),
+                Some(tel) => surrogate_refine_traced(&fa, grid, rot, sq, split, &mut |ev| {
+                    tel.record_routing(qid, me, ev)
+                }),
+            };
+        }
         match &self.telemetry {
             None => surrogate_refine(&self.table, grid, rot, sq, split),
             Some(tel) => surrogate_refine_traced(&self.table, grid, rot, sq, split, &mut |ev| {
                 tel.record_routing(qid, me, ev)
             }),
+        }
+    }
+
+    /// Send an index-layer message, wrapping it in a tracked envelope
+    /// (with retransmit timer) when resilience is on. Self-sends and the
+    /// non-resilient path go out unwrapped, exactly as before.
+    fn send_search(
+        &mut self,
+        ctx: &mut Ctx<'_, SearchMsg>,
+        to: AgentId,
+        msg: SearchMsg,
+        bytes: u32,
+    ) {
+        let Some(rc) = &self.resilience else {
+            ctx.send(to, msg, bytes);
+            return;
+        };
+        if to == ctx.me() {
+            ctx.send(to, msg, bytes);
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let dead: Vec<u64> = self.suspected.iter().copied().collect();
+        let wire_bytes = bytes + tracked_overhead_bytes(dead.len());
+        let wire = SearchMsg::Tracked {
+            seq,
+            dead,
+            inner: Box::new(msg.clone()),
+        };
+        let dst_id = self
+            .table
+            .neighbors()
+            .into_iter()
+            .find(|n| n.addr == to)
+            .map(|n| n.id.0);
+        let timeout = rc.timeout_for(ctx.rtt_to(to));
+        self.pending.insert(
+            seq,
+            PendingSend {
+                to,
+                dst_id,
+                msg,
+                bytes,
+                attempts: 0,
+                first_timeout: timeout,
+            },
+        );
+        if let Some(tel) = &self.telemetry {
+            tel.incr("resilience.tracked_sent", 1);
+        }
+        ctx.schedule(timeout, TimerTag(seq));
+        ctx.send(to, wire, wire_bytes);
+    }
+
+    /// A tracked send ran out of retries: suspect the destination and
+    /// route the payload around it.
+    fn redispatch(&mut self, ctx: &mut Ctx<'_, SearchMsg>, msg: SearchMsg) {
+        match msg {
+            SearchMsg::Route(subs) => {
+                let me = ctx.me().0;
+                let mut actions = Vec::new();
+                for sq in subs {
+                    let ix = &self.indexes[sq.index as usize];
+                    let grid = Arc::clone(&ix.grid);
+                    let rot = ix.rotation;
+                    let split = self.naive_level.is_none();
+                    actions.extend(self.route_traced(me, &grid, rot, sq, split));
+                }
+                self.execute(ctx, actions);
+            }
+            SearchMsg::Refine(sq) => {
+                // The surrogate died: re-route the fragment from here;
+                // failure-aware routing finds the next live owner.
+                let ix = &self.indexes[sq.index as usize];
+                let grid = Arc::clone(&ix.grid);
+                let rot = ix.rotation;
+                let split = self.naive_level.is_none();
+                let actions = self.route_traced(ctx.me().0, &grid, rot, sq, split);
+                self.execute(ctx, actions);
+            }
+            SearchMsg::Publish { index, entry, hops } => self.on_publish(ctx, index, entry, hops),
+            SearchMsg::Results { .. } => {
+                // The query's origin is gone; there is nowhere else for
+                // its results to go. Count the loss instead of hiding it.
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("resilience.results_lost", 1);
+                }
+            }
+            SearchMsg::Replicate { .. } => {
+                // The chosen replica holder is dead: the entry keeps
+                // fewer copies until the next re-replication pass.
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("resilience.replicas_lost", 1);
+                }
+            }
+            // Never wrapped in tracked envelopes.
+            SearchMsg::Issue(_) | SearchMsg::Tracked { .. } | SearchMsg::Ack { .. } => {}
         }
     }
 
@@ -206,7 +374,7 @@ impl SearchNode {
                     tel.incr("search.bytes.query", bytes as u64);
                 }
             }
-            ctx.send(to, msg, bytes);
+            self.send_search(ctx, to, msg, bytes);
         }
         for (to, sq) in handoffs {
             let qid = sq.qid;
@@ -226,7 +394,7 @@ impl SearchNode {
                 tel.incr("search.msgs.refine", 1);
                 tel.incr("search.bytes.query", bytes as u64);
             }
-            ctx.send(to, msg, bytes);
+            self.send_search(ctx, to, msg, bytes);
         }
         for ((qid, index), (hops, fragments)) in answers {
             self.answer(ctx, qid, index, hops, fragments);
@@ -244,6 +412,7 @@ impl SearchNode {
         hops: u32,
         fragments: Vec<SubQueryMsg>,
     ) {
+        let resilient = self.resilience.is_some();
         let ix = &self.indexes[index as usize];
         // Collect matching entries over all fragments, dedup by object.
         let mut seen: Vec<ObjectId> = Vec::new();
@@ -259,11 +428,47 @@ impl SearchNode {
                 }
             }
         }
+        // Resilient mode: also answer, on behalf of suspected-dead
+        // owners, the replica copies they pushed here. Safe even when the
+        // suspicion is false — the origin deduplicates by object.
+        let mut replica_answers = 0u64;
+        if resilient && !self.suspected.is_empty() {
+            for (owner, e) in ix.store.replicas() {
+                if !self.suspected.contains(owner) {
+                    continue;
+                }
+                if fragments.iter().any(|f| f.rect.contains_point(&e.point))
+                    && !seen.contains(&e.obj)
+                {
+                    seen.push(e.obj);
+                    replica_answers += 1;
+                }
+            }
+        }
+        // Degraded detection: a suspected node whose identifier falls in
+        // a queried fragment's ring arc may have taken owned entries down
+        // with it; if we hold no replicas for it, say so rather than
+        // letting recall silently shrink.
+        let mut degraded = false;
+        if resilient {
+            for s in &self.suspected {
+                let in_queried_range = fragments.iter().any(|f| {
+                    let (start, end) = ix.rotation.ring_arc(f.prefix);
+                    s.wrapping_sub(start) <= end.wrapping_sub(start)
+                });
+                if in_queried_range && !ix.store.replicas().iter().any(|(o, _)| o == s) {
+                    degraded = true;
+                    break;
+                }
+            }
+        }
         let mut ranked: Vec<(ObjectId, f64)> = seen
             .into_iter()
             .map(|o| (o, self.oracle.distance(qid, o)))
             .collect();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        // total_cmp, not partial_cmp().unwrap(): a NaN distance from a
+        // degenerate oracle must not panic the answering node mid-query.
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         ranked.truncate(self.knn_k);
         let returned = ranked.len() as u64;
         let origin = fragments[0].origin;
@@ -271,6 +476,7 @@ impl SearchNode {
             qid,
             hops,
             entries: ranked,
+            degraded,
         };
         let bytes = msg_bytes(&msg, |i| self.k_of(i));
         *self.result_bytes_sent.entry(qid).or_default() += bytes as u64;
@@ -290,8 +496,14 @@ impl SearchNode {
             tel.incr("store.entries_matched", matched);
             tel.incr("search.msgs.results", 1);
             tel.incr("search.bytes.results", bytes as u64);
+            if replica_answers > 0 {
+                tel.incr("resilience.replica_answers", replica_answers);
+            }
+            if degraded {
+                tel.incr("resilience.degraded_answers", 1);
+            }
         }
-        ctx.send(origin, msg, bytes);
+        self.send_search(ctx, origin, msg, bytes);
     }
 
     fn on_issue(&mut self, ctx: &mut Ctx<'_, SearchMsg>, sq: SubQueryMsg) {
@@ -307,6 +519,7 @@ impl SearchNode {
                 max_hops: 0,
                 responses: 0,
                 merged: Vec::new(),
+                degraded: false,
             },
         );
         let ix = &self.indexes[sq.index as usize];
@@ -338,6 +551,7 @@ impl SearchNode {
         qid: QueryId,
         hops: u32,
         entries: Vec<(ObjectId, f64)>,
+        degraded: bool,
     ) {
         let k = self.knn_k;
         let Some(iq) = self.issued.get_mut(&qid) else {
@@ -348,6 +562,7 @@ impl SearchNode {
         iq.last_result = Some(now);
         iq.max_hops = iq.max_hops.max(hops);
         iq.responses += 1;
+        iq.degraded |= degraded;
         for (obj, d) in entries {
             if iq.merged.iter().any(|&(o, _)| o == obj) {
                 continue;
@@ -361,12 +576,90 @@ impl SearchNode {
             }
         }
     }
+
+    /// Route or store one published entry. In resilient mode the routing
+    /// is failure-aware and a stored entry is pushed to `replication - 1`
+    /// ring successors.
+    fn on_publish(&mut self, ctx: &mut Ctx<'_, SearchMsg>, index: u8, entry: Entry, hops: u32) {
+        let key = chord::ChordId(entry.ring_key);
+        let decision = if self.resilience.is_some() {
+            FailureAware::new(&self.table, &self.suspected).decide(key)
+        } else {
+            self.table.decide(key)
+        };
+        match decision {
+            chord::RouteDecision::Local => self.store_publish(ctx, index, entry, hops),
+            chord::RouteDecision::Surrogate(next) | chord::RouteDecision::Forward(next) => {
+                if next.addr == ctx.me() {
+                    // Self-handoff audit: a stale or failure-narrowed
+                    // table naming *us* as next hop means the entry stops
+                    // here — never a wire message to ourselves.
+                    self.store_publish(ctx, index, entry, hops);
+                    return;
+                }
+                let msg = SearchMsg::Publish {
+                    index,
+                    entry,
+                    hops: hops + 1,
+                };
+                let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("search.msgs.publish", 1);
+                    tel.incr("search.bytes.publish", bytes as u64);
+                }
+                self.send_search(ctx, next.addr, msg, bytes);
+            }
+        }
+    }
+
+    fn store_publish(&mut self, ctx: &mut Ctx<'_, SearchMsg>, index: u8, entry: Entry, hops: u32) {
+        if let Some(tel) = &self.telemetry {
+            tel.incr("publish.stored", 1);
+            tel.observe("publish.hops", hops as u64);
+        }
+        self.publishes_stored.push((hops, entry.obj));
+        self.indexes[index as usize].store.insert(entry.clone());
+        self.replicate_out(ctx, index, entry);
+    }
+
+    /// Push one owned entry to this node's first `replication - 1` live
+    /// ring successors (no-op outside resilient mode).
+    fn replicate_out(&mut self, ctx: &mut Ctx<'_, SearchMsg>, index: u8, entry: Entry) {
+        let Some(rc) = &self.resilience else {
+            return;
+        };
+        if rc.replication <= 1 {
+            return;
+        }
+        let want = rc.replication - 1;
+        let me = self.table.me_ref();
+        let targets: Vec<_> = self
+            .table
+            .successor_list()
+            .into_iter()
+            .filter(|s| s.addr != me.addr && !self.suspected.contains(&s.id.0))
+            .take(want)
+            .collect();
+        for s in targets {
+            let msg = SearchMsg::Replicate {
+                index,
+                owner: me.id.0,
+                entry: entry.clone(),
+            };
+            let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
+            if let Some(tel) = &self.telemetry {
+                tel.incr("search.msgs.replicate", 1);
+                tel.incr("search.bytes.replicate", bytes as u64);
+            }
+            self.send_search(ctx, s.addr, msg, bytes);
+        }
+    }
 }
 
 impl Agent for SearchNode {
     type Msg = SearchMsg;
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, SearchMsg>, _from: AgentId, msg: SearchMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SearchMsg>, from: AgentId, msg: SearchMsg) {
         match msg {
             SearchMsg::Issue(sq) => self.on_issue(ctx, sq),
             SearchMsg::Route(subs) => {
@@ -389,37 +682,104 @@ impl Agent for SearchNode {
                 let actions = self.refine_traced(ctx.me().0, &grid, rot, sq, split);
                 self.execute(ctx, actions);
             }
-            SearchMsg::Results { qid, hops, entries } => {
-                self.on_results(ctx, qid, hops, entries);
+            SearchMsg::Results {
+                qid,
+                hops,
+                entries,
+                degraded,
+            } => {
+                self.on_results(ctx, qid, hops, entries, degraded);
             }
             SearchMsg::Publish { index, entry, hops } => {
-                use crate::overlay::OverlayTable;
-                let key = chord::ChordId(entry.ring_key);
-                match self.table.decide(key) {
-                    chord::RouteDecision::Local => {
-                        if let Some(tel) = &self.telemetry {
-                            tel.incr("publish.stored", 1);
-                            tel.observe("publish.hops", hops as u64);
-                        }
-                        self.publishes_stored.push((hops, entry.obj));
-                        self.indexes[index as usize].store.insert(entry);
+                self.on_publish(ctx, index, entry, hops);
+            }
+            SearchMsg::Replicate {
+                index,
+                owner,
+                entry,
+            } => {
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("replicate.stored", 1);
+                }
+                self.indexes[index as usize].store.put_replica(owner, entry);
+            }
+            SearchMsg::Tracked { seq, dead, inner } => {
+                // Ack first. In the simulator the ack and the processing
+                // below happen inside one delivery event, so there is no
+                // acked-then-crashed window: either both occurred or the
+                // message (and its ack) never arrived and the sender
+                // retries.
+                ctx.send(from, SearchMsg::Ack { seq }, ack_msg_bytes());
+                let me_id = self.table.me_ref().id.0;
+                for d in dead {
+                    if d != me_id {
+                        self.suspected.insert(d);
                     }
-                    chord::RouteDecision::Surrogate(next) | chord::RouteDecision::Forward(next) => {
-                        let msg = SearchMsg::Publish {
-                            index,
-                            entry,
-                            hops: hops + 1,
-                        };
-                        let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
-                        if let Some(tel) = &self.telemetry {
-                            tel.incr("search.msgs.publish", 1);
-                            tel.incr("search.bytes.publish", bytes as u64);
-                        }
-                        ctx.send(next.addr, msg, bytes);
+                }
+                if !self.seen_tracked.insert((from.0, seq)) {
+                    // Retransmission or network duplicate of a payload
+                    // already executed: ack again (above), run nothing.
+                    if let Some(tel) = &self.telemetry {
+                        tel.incr("resilience.dup_dropped", 1);
+                    }
+                    return;
+                }
+                self.on_message(ctx, from, *inner);
+            }
+            SearchMsg::Ack { seq } => {
+                if self.pending.remove(&seq).is_some() {
+                    if let Some(tel) = &self.telemetry {
+                        tel.incr("resilience.acked", 1);
                     }
                 }
             }
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SearchMsg>, tag: TimerTag) {
+        let seq = tag.0;
+        let Some(mut p) = self.pending.remove(&seq) else {
+            return; // acked in the meantime
+        };
+        let Some(rc) = &self.resilience else {
+            return;
+        };
+        if p.attempts < rc.max_retries {
+            p.attempts += 1;
+            let dead: Vec<u64> = self.suspected.iter().copied().collect();
+            let wire_bytes = p.bytes + tracked_overhead_bytes(dead.len());
+            let wire = SearchMsg::Tracked {
+                seq,
+                dead,
+                inner: Box::new(p.msg.clone()),
+            };
+            let delay = rc.backoff_timeout(p.first_timeout, p.attempts);
+            if let Some(tel) = &self.telemetry {
+                tel.incr("resilience.retries", 1);
+            }
+            ctx.schedule(delay, TimerTag(seq));
+            ctx.send(p.to, wire, wire_bytes);
+            self.pending.insert(seq, p);
+        } else {
+            // Retry budget exhausted: suspect the destination and route
+            // the payload around it.
+            if let Some(id) = p.dst_id {
+                if id != self.table.me_ref().id.0 {
+                    self.suspected.insert(id);
+                }
+            }
+            if let Some(tel) = &self.telemetry {
+                tel.incr("resilience.failovers", 1);
+            }
+            self.redispatch(ctx, p.msg);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // The simulator discarded this host's timers with the crash;
+        // clear the bookkeeping that assumed they would fire. In-flight
+        // requests die here — the *senders'* retry timers cover them.
+        self.pending.clear();
     }
 }
 
@@ -540,7 +900,7 @@ mod tests {
         let iq = &sim.agent(AgentId(1)).issued[&3];
         let dists: Vec<f64> = iq.merged.iter().map(|&(_, d)| d).collect();
         let mut sorted = dists.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         assert_eq!(dists, sorted);
         assert_eq!(iq.merged.len(), 8);
     }

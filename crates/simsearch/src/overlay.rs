@@ -17,6 +17,16 @@ pub trait OverlayTable {
     fn decide(&self, key: ChordId) -> RouteDecision;
     /// Every node this table knows (used by load-balance probing).
     fn neighbors(&self) -> Vec<NodeRef>;
+    /// Known nodes ordered by clockwise ring distance from this node —
+    /// replica placement targets. Chord's successor list is exactly this;
+    /// other substrates derive it from their neighbor sets.
+    fn successor_list(&self) -> Vec<NodeRef> {
+        let me = self.me_ref();
+        let mut out = self.neighbors();
+        out.retain(|n| n.id != me.id);
+        out.sort_by_key(|n| me.id.cw_dist(n.id));
+        out
+    }
 }
 
 impl OverlayTable for RoutingTable {
@@ -28,6 +38,9 @@ impl OverlayTable for RoutingTable {
     }
     fn neighbors(&self) -> Vec<NodeRef> {
         self.known_nodes()
+    }
+    fn successor_list(&self) -> Vec<NodeRef> {
+        self.successors().to_vec()
     }
 }
 
@@ -99,6 +112,96 @@ impl OverlayTable for Overlay {
             Overlay::Pastry(t) => t.known_nodes(),
         }
     }
+    fn successor_list(&self) -> Vec<NodeRef> {
+        match self {
+            Overlay::Chord(t) => OverlayTable::successor_list(t),
+            Overlay::Pastry(t) => {
+                let me = t.me();
+                let mut out = t.known_nodes();
+                out.retain(|n| n.id != me.id);
+                out.sort_by_key(|n| me.id.cw_dist(n.id));
+                out
+            }
+        }
+    }
+}
+
+/// A view of an [`Overlay`] that routes *around* suspected-dead nodes.
+///
+/// Constructed per-decision by a resilient node from its current
+/// suspicion set; the underlying table is untouched, so a node cleared
+/// of suspicion is immediately routable again. Chord gets the native
+/// [`RoutingTable::route_excluding`]; other substrates fall back to a
+/// generic neighbor scan with the same semantics (forward to the
+/// closest-preceding live node, else the first live clockwise node is
+/// the surrogate that inherited the dead owner's arc).
+pub struct FailureAware<'a> {
+    inner: &'a Overlay,
+    dead: &'a std::collections::BTreeSet<u64>,
+}
+
+impl<'a> FailureAware<'a> {
+    /// Wrap `inner`, treating every id in `dead` as unroutable.
+    pub fn new(inner: &'a Overlay, dead: &'a std::collections::BTreeSet<u64>) -> FailureAware<'a> {
+        FailureAware { inner, dead }
+    }
+
+    fn generic_excluding(&self, key: ChordId) -> RouteDecision {
+        let me = self.inner.me_ref();
+        // Honor the substrate's own ownership claim first.
+        if matches!(self.inner.decide(key), RouteDecision::Local) {
+            return RouteDecision::Local;
+        }
+        let live: Vec<NodeRef> = self
+            .inner
+            .neighbors()
+            .into_iter()
+            .filter(|n| !self.dead.contains(&n.id.0))
+            .collect();
+        // Closest-preceding live node strictly between me and the key.
+        let forward = live
+            .iter()
+            .filter(|n| n.id.in_open(me.id, key))
+            .min_by_key(|n| n.id.cw_dist(key));
+        if let Some(n) = forward {
+            return RouteDecision::Forward(*n);
+        }
+        // No live node precedes the key: the live node closest clockwise
+        // *from* the key inherited the dead owner's arc.
+        match live.iter().min_by_key(|n| key.cw_dist(n.id)) {
+            Some(n) => RouteDecision::Surrogate(*n),
+            None => RouteDecision::Local,
+        }
+    }
+}
+
+impl OverlayTable for FailureAware<'_> {
+    fn me_ref(&self) -> NodeRef {
+        self.inner.me_ref()
+    }
+    fn decide(&self, key: ChordId) -> RouteDecision {
+        if self.dead.is_empty() {
+            return self.inner.decide(key);
+        }
+        match self.inner {
+            Overlay::Chord(t) => t.route_excluding(key, |id| self.dead.contains(&id)),
+            Overlay::Pastry(_) => self.generic_excluding(key),
+        }
+    }
+    fn neighbors(&self) -> Vec<NodeRef> {
+        self.inner
+            .neighbors()
+            .into_iter()
+            .filter(|n| !self.dead.contains(&n.id.0))
+            .collect()
+    }
+    fn successor_list(&self) -> Vec<NodeRef> {
+        self.inner
+            .successor_list()
+            .into_iter()
+            .filter(|n| !self.dead.contains(&n.id.0))
+            .collect()
+    }
 }
 
 impl From<RoutingTable> for Overlay {
@@ -139,6 +242,74 @@ mod tests {
                 assert_eq!(c.me_ref(), p.me_ref());
             }
         }
+    }
+
+    #[test]
+    fn failure_aware_avoids_dead_nodes_on_both_substrates() {
+        use std::collections::BTreeSet;
+        let mut rng = SimRng::new(9);
+        let ring = OracleRing::with_random_ids(16, &mut rng);
+        let chord_tables = ring.build_all_tables(8, None, 8);
+        let pastry_tables = pastry::build_all_tables(&ring, 8, None, 8);
+        use rand::RngCore;
+        for trial in 0..50 {
+            let key = ChordId(rng.next_u64());
+            let owner = ring.owner_of(key);
+            // Suspect the owner; every other node must still route the
+            // key somewhere live.
+            let dead: BTreeSet<u64> = [owner.id.0].into_iter().collect();
+            for node in ring.nodes() {
+                if node.id == owner.id {
+                    continue;
+                }
+                for table in [
+                    Overlay::from(chord_tables[node.addr.0].clone()),
+                    Overlay::from(pastry_tables[node.addr.0].clone()),
+                ] {
+                    let fa = FailureAware::new(&table, &dead);
+                    match fa.decide(key) {
+                        RouteDecision::Local => {}
+                        RouteDecision::Surrogate(n) | RouteDecision::Forward(n) => {
+                            assert_ne!(n.id, owner.id, "trial {trial}: routed to dead owner");
+                        }
+                    }
+                    assert!(fa.neighbors().iter().all(|n| n.id != owner.id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failure_aware_empty_set_is_transparent() {
+        use std::collections::BTreeSet;
+        let mut rng = SimRng::new(5);
+        let ring = OracleRing::with_random_ids(8, &mut rng);
+        let table: Overlay = ring.build_table(0, 8, None, 8).into();
+        let dead = BTreeSet::new();
+        let fa = FailureAware::new(&table, &dead);
+        use rand::RngCore;
+        for _ in 0..20 {
+            let key = ChordId(rng.next_u64());
+            assert_eq!(fa.decide(key), table.decide(key));
+        }
+        assert_eq!(fa.successor_list(), table.successor_list());
+    }
+
+    #[test]
+    fn successor_list_orders_by_clockwise_distance() {
+        let mut rng = SimRng::new(6);
+        let ring = OracleRing::with_random_ids(12, &mut rng);
+        let table: Overlay = ring.build_table(0, 8, None, 8).into();
+        let me = table.me_ref();
+        let list = table.successor_list();
+        assert!(!list.is_empty());
+        for w in list.windows(2) {
+            assert!(me.id.cw_dist(w[0].id) <= me.id.cw_dist(w[1].id));
+        }
+        // The first entry is the ring successor.
+        let pos = ring.nodes().iter().position(|n| n.id == me.id).unwrap();
+        let next = ring.next_of(pos);
+        assert_eq!(list[0].id, next.id);
     }
 
     #[test]

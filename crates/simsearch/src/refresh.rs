@@ -91,10 +91,59 @@ impl SearchSystem {
             nodes[addr].indexes[index].store.extend(entries);
         }
         self.grids[index] = grid;
+        // Ownership moved wholesale: old replica copies now shadow the
+        // wrong owners. Recompute placement from the new primaries.
+        self.re_replicate(index);
         ReindexReport {
             published: points.len(),
             migrated,
         }
+    }
+
+    /// Recompute replica placement for one index from the current
+    /// primaries and ring membership: every owner's entries are copied to
+    /// its `replication - 1` ring successors, and all previously held
+    /// replicas are dropped first. No-op (returning 0) outside resilient
+    /// mode. Call after any operation that moves primaries or ring
+    /// identifiers — re-indexing, load migration — since ownership
+    /// changes strand old copies on the wrong successors.
+    pub fn re_replicate(&mut self, index: usize) -> usize {
+        let replication = match &self.cfg.resilience {
+            Some(rc) if rc.replication > 1 => rc.replication,
+            _ => return 0,
+        };
+        let ring_nodes: Vec<chord::NodeRef> = self.ring.nodes().to_vec();
+        let n_ring = ring_nodes.len();
+        let (_, nodes) = self.sim.topology_and_agents_mut();
+        // Phase 1 (read-only): collect copies per target address.
+        let mut copies: Vec<Vec<(u64, Entry)>> = vec![Vec::new(); nodes.len()];
+        for (pos, owner) in ring_nodes.iter().enumerate() {
+            let store = &nodes[owner.addr.0].indexes[index].store;
+            if store.is_empty() {
+                continue;
+            }
+            for j in 1..replication {
+                let tgt = ring_nodes[(pos + j) % n_ring];
+                if tgt.addr == owner.addr {
+                    break; // wrapped all the way around
+                }
+                for e in store.entries() {
+                    copies[tgt.addr.0].push((owner.id.0, e.clone()));
+                }
+            }
+        }
+        // Phase 2: replace every node's replica set.
+        for node in nodes.iter_mut() {
+            node.indexes[index].store.clear_replicas();
+        }
+        let mut placed = 0usize;
+        for (addr, list) in copies.into_iter().enumerate() {
+            for (owner_id, e) in list {
+                nodes[addr].indexes[index].store.put_replica(owner_id, e);
+                placed += 1;
+            }
+        }
+        placed
     }
 
     /// Publish one object into a running index *over the network*: the
@@ -157,7 +206,13 @@ impl SearchSystem {
         let n_succ = self.cfg.n_successors;
         let pns = self.cfg.pns_candidates.max(1);
         let (topo, nodes) = self.sim.topology_and_agents_mut();
-        load::balance(&mut self.ring, nodes, lb, topo, n_succ, pns, &mut rng)
+        let report = load::balance(&mut self.ring, nodes, lb, topo, n_succ, pns, &mut rng);
+        // Migration rewrites ring identifiers and moves primaries, so
+        // every index's replica placement is recomputed from scratch.
+        for ix in 0..self.grids.len() {
+            self.re_replicate(ix);
+        }
+        report
     }
 
     /// Replace every node's routing table with one produced by the *live*
@@ -260,6 +315,84 @@ mod tests {
             }],
             oracle,
         )
+    }
+
+    /// Every owner's primaries must be mirrored, entry for entry, on its
+    /// immediate ring successor (replication factor 2), and nothing else
+    /// may be held as a replica.
+    fn assert_replicas_consistent(system: &mut SearchSystem) {
+        let ring_nodes: Vec<chord::NodeRef> = system.ring().nodes().to_vec();
+        let n = ring_nodes.len();
+        let (_, nodes) = system.sim.topology_and_agents_mut();
+        let mut expected_total = 0usize;
+        for (pos, owner) in ring_nodes.iter().enumerate() {
+            let primary: Vec<metric::ObjectId> = nodes[owner.addr.0].indexes[0]
+                .store
+                .entries()
+                .iter()
+                .map(|e| e.obj)
+                .collect();
+            expected_total += primary.len();
+            let holder = ring_nodes[(pos + 1) % n];
+            let held: Vec<metric::ObjectId> = nodes[holder.addr.0].indexes[0]
+                .store
+                .replicas()
+                .iter()
+                .filter(|(o, _)| *o == owner.id.0)
+                .map(|(_, e)| e.obj)
+                .collect();
+            assert_eq!(
+                held.len(),
+                primary.len(),
+                "successor of {:?} must mirror all its primaries",
+                owner.id
+            );
+            for obj in &primary {
+                assert!(held.contains(obj));
+            }
+        }
+        let total: usize = nodes
+            .iter()
+            .map(|node| node.indexes[0].store.replica_count())
+            .sum();
+        assert_eq!(total, expected_total, "no stale replicas may survive");
+    }
+
+    #[test]
+    fn reindex_and_rebalance_recompute_replica_placement() {
+        let points = grid_points(20, 100.0);
+        let op: Vec<Vec<f64>> = points.clone();
+        let oracle: DistanceOracle = Arc::new(move |_q: QueryId, obj: ObjectId| {
+            let p = &op[obj.0 as usize];
+            let a: Vec<f32> = p.iter().map(|&x| x as f32).collect();
+            L2::new().distance(&a, &[50.0f32, 50.0])
+        });
+        let mut system = SearchSystem::build(
+            SystemConfig {
+                n_nodes: 20,
+                depth: 16,
+                resilience: Some(crate::resilience::ResilienceConfig::default()),
+                ..SystemConfig::default()
+            },
+            &[IndexSpec {
+                name: "refresh".into(),
+                boundary: vec![(0.0, 100.0); 2],
+                points: points.clone(),
+                rotate: false,
+            }],
+            oracle,
+        );
+        assert_replicas_consistent(&mut system);
+
+        let new_points: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| p.iter().map(|&x| x * 0.5).collect())
+            .collect();
+        system.reindex(0, &[(0.0, 100.0); 2], &new_points);
+        assert_replicas_consistent(&mut system);
+
+        system.rebalance(&LoadBalanceConfig::default());
+        assert_replicas_consistent(&mut system);
     }
 
     #[test]

@@ -210,7 +210,28 @@ pub fn route_subquery_traced<T: OverlayTable + ?Sized>(
                     table, grid, rot, q, split, &mut *sink,
                 ));
             }
+            // A table may name *us* as the surrogate (stale entries, or
+            // failure-aware fallback when we are the only live node). A
+            // hand-off to ourselves would be a wire message to nowhere —
+            // refine locally instead.
+            RouteDecision::Surrogate(s) if s.addr == table.me_ref().addr => {
+                sink(RoutingEvent::LocalRefine {
+                    prefix_len: q.prefix.len(),
+                });
+                out.extend(surrogate_refine_traced(
+                    table, grid, rot, q, split, &mut *sink,
+                ));
+            }
             RouteDecision::Surrogate(s) => out.push(Action::Handoff { to: s.addr, sq: q }),
+            // Same audit for forwards: never emit a message to self.
+            RouteDecision::Forward(n) if n.addr == table.me_ref().addr => {
+                sink(RoutingEvent::LocalRefine {
+                    prefix_len: q.prefix.len(),
+                });
+                out.extend(surrogate_refine_traced(
+                    table, grid, rot, q, split, &mut *sink,
+                ));
+            }
             RouteDecision::Forward(n) => out.push(Action::Forward { to: n.addr, sq: q }),
         }
     }
@@ -656,6 +677,60 @@ mod tests {
                 .any(|e| matches!(e, RoutingEvent::RefinePeel { .. })),
             "straddling refine must peel: {refine_events:?}"
         );
+    }
+
+    #[test]
+    fn self_handoff_short_circuits_to_local_answer() {
+        // A mock table that names its own node as surrogate (or next hop)
+        // for every key — the degenerate state of a node whose whole
+        // neighborhood is suspected dead. Routing must never emit a wire
+        // message addressed to the node itself; it answers locally.
+        struct SelfPointing {
+            me: NodeRef,
+            forward: bool,
+        }
+        impl OverlayTable for SelfPointing {
+            fn me_ref(&self) -> NodeRef {
+                self.me
+            }
+            fn decide(&self, _key: chord::ChordId) -> RouteDecision {
+                if self.forward {
+                    RouteDecision::Forward(self.me)
+                } else {
+                    RouteDecision::Surrogate(self.me)
+                }
+            }
+            fn neighbors(&self) -> Vec<NodeRef> {
+                Vec::new()
+            }
+        }
+        let grid = Grid::new(Rect::cube(1, 0.0, 8.0), 3);
+        let rect = Rect::new(vec![3.2], vec![3.8]);
+        let sq = msg(rect.clone(), grid.enclosing_prefix(&rect));
+        for forward in [false, true] {
+            let table = SelfPointing {
+                me: NodeRef::new(7u64 << 61, 4),
+                forward,
+            };
+            let actions = route_subquery(&table, &grid, Rotation::IDENTITY, sq.clone(), true);
+            assert!(!actions.is_empty());
+            for a in &actions {
+                match a {
+                    Action::Answer(_) => {}
+                    Action::Handoff { to, .. } | Action::Forward { to, .. } => {
+                        assert_ne!(
+                            *to,
+                            AgentId(4),
+                            "message addressed to self (forward={forward})"
+                        );
+                    }
+                }
+            }
+            assert!(
+                actions.iter().any(|a| matches!(a, Action::Answer(_))),
+                "self-handoff must resolve to a local answer"
+            );
+        }
     }
 
     #[test]

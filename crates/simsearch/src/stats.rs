@@ -16,7 +16,7 @@ pub fn percentile(xs: &[f64], pct: f64) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let idx = ((pct / 100.0) * (v.len() - 1) as f64).round() as usize;
     v[idx]
 }
@@ -33,7 +33,7 @@ pub fn gini(loads: &[usize]) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n with 1-based ranks.
     let weighted: f64 = sorted
@@ -104,6 +104,16 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    /// NaN samples (e.g. a metric blowing up on one query) must not
+    /// panic the reporting pass; `total_cmp` sorts them past +∞.
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        let xs = [1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert!(percentile(&xs, 100.0).is_nan());
     }
 
     #[test]

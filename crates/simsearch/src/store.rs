@@ -21,9 +21,16 @@ pub struct Entry {
 }
 
 /// A node's entries for one index scheme, ordered by ring key.
+///
+/// Alongside the *primary* entries the node owns, the store can hold
+/// *replica* copies pushed by ring predecessors (resilient mode). Replicas
+/// are tagged with the publishing owner's ring id, never count toward the
+/// node's load, and are only answered on behalf of owners suspected dead.
 #[derive(Clone, Debug, Default)]
 pub struct Store {
     entries: Vec<Entry>,
+    /// `(owner ring id, entry)` replica copies, insertion-ordered.
+    replicas: Vec<(u64, Entry)>,
 }
 
 impl Store {
@@ -95,6 +102,35 @@ impl Store {
         self.entries
             .iter()
             .filter(|e| rect.contains_point(&e.point))
+    }
+
+    /// Store (or refresh) one replica copy on behalf of `owner`.
+    /// Idempotent per `(owner, object)`: a retransmitted or re-published
+    /// copy replaces the previous one instead of duplicating it.
+    pub fn put_replica(&mut self, owner: u64, e: Entry) {
+        match self
+            .replicas
+            .iter_mut()
+            .find(|(o, x)| *o == owner && x.obj == e.obj)
+        {
+            Some(slot) => slot.1 = e,
+            None => self.replicas.push((owner, e)),
+        }
+    }
+
+    /// All held replicas as `(owner ring id, entry)` pairs.
+    pub fn replicas(&self) -> &[(u64, Entry)] {
+        &self.replicas
+    }
+
+    /// Number of replica copies held (not part of [`Store::load`]).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Drop every replica (before re-replication recomputes placement).
+    pub fn clear_replicas(&mut self) {
+        self.replicas.clear();
     }
 
     /// Like [`Store::matching`], but also reports how much work the scan
@@ -205,6 +241,33 @@ mod tests {
                 matched: 1
             }
         );
+    }
+
+    #[test]
+    fn replicas_are_separate_and_idempotent() {
+        let mut s = Store::new();
+        s.insert(e(10, 0, 0.5));
+        s.put_replica(999, e(20, 1, 1.5));
+        s.put_replica(999, e(21, 2, 2.5));
+        // Load counts primaries only.
+        assert_eq!(s.load(), 1);
+        assert_eq!(s.replica_count(), 2);
+        // Same (owner, object) replaces, never duplicates.
+        s.put_replica(999, e(25, 1, 1.75));
+        assert_eq!(s.replica_count(), 2);
+        assert!(s
+            .replicas()
+            .iter()
+            .any(|(o, x)| *o == 999 && x.obj.0 == 1 && x.ring_key == 25));
+        // Same object from a different owner is a distinct replica.
+        s.put_replica(7, e(20, 1, 1.5));
+        assert_eq!(s.replica_count(), 3);
+        // Primary operations leave replicas alone.
+        let drained = s.take_all();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(s.replica_count(), 3);
+        s.clear_replicas();
+        assert_eq!(s.replica_count(), 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::load::{self, LoadBalanceReport};
 use crate::msg::{DistanceOracle, QueryId, SearchMsg, SubQueryMsg};
 use crate::node::{IndexState, SearchNode};
 use crate::overlay::{Overlay, OverlayKind};
+use crate::resilience::ResilienceConfig;
 use crate::store::{Entry, Store};
 use crate::telemetry::Telemetry;
 
@@ -53,6 +54,10 @@ pub struct SystemConfig {
     /// Which DHT substrate to run on (the paper's "also applicable to
     /// other DHTs" claim; default Chord, the evaluation platform).
     pub overlay: OverlayKind,
+    /// `Some` turns on query retry/failover and replicated publication
+    /// (see [`crate::resilience`]). `None` (default) keeps the wire
+    /// protocol identical to the fault-free implementation.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for SystemConfig {
@@ -69,6 +74,7 @@ impl Default for SystemConfig {
             lb: None,
             load_aware_join: false,
             overlay: OverlayKind::Chord,
+            resilience: None,
         }
     }
 }
@@ -127,6 +133,9 @@ pub struct QueryOutcome {
     pub results: Vec<(ObjectId, f64)>,
     /// `|truth ∩ results| / |truth|`.
     pub recall: f64,
+    /// True when any answering node reported part of the queried key
+    /// range possibly lost with a dead node it had no replicas for.
+    pub degraded: bool,
 }
 
 /// A built, publishable, queryable system.
@@ -235,13 +244,16 @@ impl SearchSystem {
             })
             .collect();
 
-        // Publish: place every entry directly on its owner. (Insertion
+        // Publish: place every entry directly on its owner (insertion
         // traffic is not part of the paper's measured metrics; queries
-        // are.)
+        // are), and — in resilient mode — a replica copy on each of the
+        // owner's `replication - 1` ring successors.
+        let replication = cfg.resilience.as_ref().map_or(1, |rc| rc.replication);
         for (ix, spec) in specs.iter().enumerate() {
             let grid = &grids[ix];
             let rot = rotations[ix];
             let mut per_addr: Vec<Vec<Entry>> = vec![Vec::new(); cfg.n_nodes];
+            let mut replicas_per_addr: Vec<Vec<(u64, Entry)>> = vec![Vec::new(); cfg.n_nodes];
             for (i, p) in spec.points.iter().enumerate() {
                 assert_eq!(
                     p.len(),
@@ -261,20 +273,40 @@ impl SearchSystem {
                     .collect();
                 let key = rot.to_ring(grid.hash(&clamped));
                 let owner = ring.owner_of(ChordId(key));
-                per_addr[owner.addr.0].push(Entry {
+                let entry = Entry {
                     ring_key: key,
                     obj: ObjectId(i as u32),
                     point: clamped.into_boxed_slice(),
-                });
+                };
+                if replication > 1 {
+                    let pos = ring.nodes().partition_point(|n| n.id < owner.id);
+                    let n = ring.nodes().len();
+                    for j in 1..replication {
+                        let tgt = ring.nodes()[(pos + j) % n];
+                        if tgt.addr == owner.addr {
+                            break; // wrapped all the way around
+                        }
+                        replicas_per_addr[tgt.addr.0].push((owner.id.0, entry.clone()));
+                    }
+                }
+                per_addr[owner.addr.0].push(entry);
             }
             for (addr, entries) in per_addr.into_iter().enumerate() {
                 nodes[addr].indexes[ix].store.extend(entries);
+            }
+            for (addr, copies) in replicas_per_addr.into_iter().enumerate() {
+                for (owner_id, e) in copies {
+                    nodes[addr].indexes[ix].store.put_replica(owner_id, e);
+                }
             }
         }
 
         let telemetry = Telemetry::new();
         for node in &mut nodes {
             node.attach_telemetry(telemetry.clone());
+            if let Some(rc) = &cfg.resilience {
+                node.enable_resilience(rc.clone());
+            }
         }
 
         let mut ring = ring;
@@ -294,7 +326,7 @@ impl SearchSystem {
         });
 
         let sim = Sim::new(topo, nodes, cfg.seed ^ 0x51);
-        SearchSystem {
+        let mut system = SearchSystem {
             sim,
             ring,
             cfg,
@@ -302,7 +334,15 @@ impl SearchSystem {
             rotations,
             lb_report,
             telemetry,
+        };
+        // Build-time load balancing moves primaries after the initial
+        // replica placement; redo placement against the settled ring.
+        if system.lb_report.is_some() && system.cfg.resilience.is_some() {
+            for ix in 0..system.grids.len() {
+                system.re_replicate(ix);
+            }
         }
+        system
     }
 
     /// The overlay membership.
@@ -354,6 +394,54 @@ impl SearchSystem {
         self.sim.stats()
     }
 
+    /// Install a fault-injection configuration on the underlying
+    /// simulator (drop/duplication/spike rates, partition windows).
+    pub fn set_faults(&mut self, faults: simnet::FaultPlane) {
+        self.sim.set_faults(faults);
+    }
+
+    /// Drop each cross-host message independently with probability
+    /// `rate` — shorthand for the drop fault of [`Self::set_faults`].
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        self.sim.set_loss_rate(rate);
+    }
+
+    /// Schedule node `who` to crash at absolute simulated time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, who: AgentId) {
+        self.sim.schedule_crash(at, who);
+    }
+
+    /// Schedule node `who` to come back up at absolute time `at`.
+    pub fn schedule_restart(&mut self, at: SimTime, who: AgentId) {
+        self.sim.schedule_restart(at, who);
+    }
+
+    /// Is node `who` currently crashed?
+    pub fn is_down(&self, who: AgentId) -> bool {
+        self.sim.is_down(who)
+    }
+
+    /// The exact `(injection time, origin)` sequence
+    /// [`SearchSystem::run_queries`] will use for an `n`-query workload
+    /// with the given mean inter-arrival time, without injecting
+    /// anything. Fault scenarios use this to aim crash windows at (or
+    /// away from) specific queries and origins deterministically.
+    pub fn query_schedule(
+        &self,
+        n_queries: usize,
+        mean_interarrival_s: f64,
+    ) -> Vec<(SimTime, AgentId)> {
+        let mut rng = SimRng::new(self.cfg.seed).fork(0x9E);
+        let mut t = self.sim.now().as_secs_f64();
+        (0..n_queries)
+            .map(|_| {
+                t += rng.exponential(mean_interarrival_s);
+                let origin = AgentId(rng.index(self.cfg.n_nodes));
+                (SimTime::from_secs_f64(t), origin)
+            })
+            .collect()
+    }
+
     /// The run's telemetry handle (traces + counter registry).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
@@ -392,6 +480,9 @@ impl SearchSystem {
                 "knn_k": Value::UInt(self.cfg.knn_k as u64),
                 "depth": Value::UInt(self.cfg.depth as u64),
                 "overlay": Value::String(overlay.to_string()),
+                "replication": Value::UInt(
+                    self.cfg.resilience.as_ref().map_or(1, |rc| rc.replication) as u64
+                ),
             }),
             "net": serde_json::json!({
                 "messages": Value::UInt(net.messages),
@@ -399,6 +490,14 @@ impl SearchSystem {
                 "timers": Value::UInt(net.timers),
                 "events": Value::UInt(net.events),
                 "dropped": Value::UInt(net.dropped),
+            }),
+            "faults": serde_json::json!({
+                "dropped_down": Value::UInt(net.dropped_down),
+                "partitioned": Value::UInt(net.partitioned),
+                "duplicated": Value::UInt(net.duplicated),
+                "spiked": Value::UInt(net.spiked),
+                "crashes": Value::UInt(net.crashes),
+                "restarts": Value::UInt(net.restarts),
             }),
             "registry": st.registry.to_json(),
             "load": Value::Object(load),
@@ -504,6 +603,7 @@ impl SearchSystem {
                 responses: iq.responses,
                 results: iq.merged.clone(),
                 recall,
+                degraded: iq.degraded,
             });
         }
         out
@@ -559,7 +659,7 @@ mod tests {
                     .enumerate()
                     .map(|(i, p)| (ObjectId(i as u32), l2(qp, p)))
                     .collect();
-                d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                d.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 QuerySpec {
                     index: 0,
                     point: qp.clone(),
@@ -637,6 +737,29 @@ mod tests {
         }
         // At least one tight query misses part of its true 5-NN.
         assert!(outcomes.iter().any(|o| o.recall < 1.0));
+    }
+
+    /// A user-supplied distance oracle is a black box; if it returns NaN
+    /// the answering nodes must rank with a total order, not panic
+    /// mid-simulation (regression for the `partial_cmp().unwrap()` sweep).
+    #[test]
+    fn nan_distance_oracle_never_panics_a_query() {
+        let (spec, points) = small_spec(100);
+        let queries = build_queries(&points, &[vec![50.0, 50.0]], 20.0, 5);
+        let oracle: DistanceOracle = Arc::new(|_qid: QueryId, _obj: ObjectId| f64::NAN);
+        let mut sys = SearchSystem::build(
+            SystemConfig {
+                n_nodes: 16,
+                knn_k: 5,
+                depth: 16,
+                ..SystemConfig::default()
+            },
+            &[spec],
+            oracle,
+        );
+        let outcomes = sys.run_queries(&queries, 10.0);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].responses >= 1, "query must still complete");
     }
 
     #[test]

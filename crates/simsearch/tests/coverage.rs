@@ -184,6 +184,35 @@ proptest! {
     }
 }
 
+/// A zero-radius query degenerates to a single-point lookup: exactly one
+/// fragment, answered by exactly the node owning the point's ring key.
+#[test]
+fn zero_radius_query_is_a_single_point_lookup() {
+    for seed in [1u64, 7, 42, 99] {
+        let mut rng = SimRng::new(seed);
+        let ring = OracleRing::with_random_ids(12, &mut rng);
+        let tables = ring.build_all_tables(8, None, 8);
+        let grid = Grid::new(Rect::cube(2, 0.0, 64.0), 12);
+        let p = [17.3, 42.9];
+        let rect = Rect::ball(&p, 0.0, grid.bounds());
+        let sq = SubQueryMsg {
+            qid: 0,
+            index: 0,
+            rect: rect.clone(),
+            prefix: grid.enclosing_prefix(&rect),
+            hops: 0,
+            origin: AgentId(0),
+        };
+        let start = (seed as usize) % 12;
+        let (answers, _) = resolve(&tables, &grid, Rotation::IDENTITY, start, sq);
+        let key = Rotation::IDENTITY.to_ring(grid.hash(&p));
+        let owner = ring.owner_of(ChordId(key)).addr.0;
+        assert_eq!(answers.len(), 1, "seed {seed}: one answer, not a scatter");
+        assert_eq!(answers[0].0, owner, "seed {seed}: answered by the owner");
+        assert!(answers[0].1.contains_point(&p));
+    }
+}
+
 #[test]
 fn single_node_world_answers_locally() {
     let mut rng = SimRng::new(1);

@@ -150,7 +150,7 @@ proptest! {
                 .filter(|(_, p)| rect.contains_point(p))
                 .map(|(i, p)| (ObjectId(i as u32), l2(center, p)))
                 .collect();
-            expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             expect.truncate(knn_k);
             let got: Vec<ObjectId> = o.results.iter().map(|&(id, _)| id).collect();
             let want: Vec<ObjectId> = expect.iter().map(|&(id, _)| id).collect();
@@ -215,7 +215,7 @@ proptest! {
             .enumerate()
             .map(|(i, p)| (ObjectId(i as u32), l2(&center, p)))
             .collect();
-        expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let want: Vec<ObjectId> = expect.iter().take(k).map(|&(id, _)| id).collect();
         let got: Vec<ObjectId> = out.results.iter().map(|&(id, _)| id).collect();
         prop_assert_eq!(got, want);

@@ -44,7 +44,7 @@ pub fn expand_query(
         .filter(|&(t, _)| !query.terms().iter().any(|&(qt, _)| qt == t))
         .map(|(t, w)| (t, w / n))
         .collect();
-    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     candidates.truncate(extra_terms);
 
     // Scale feedback terms relative to the query's own weight scale.
@@ -94,6 +94,18 @@ mod tests {
         assert_eq!(expand_query(&q, &[&d], 0, 0.75), q);
     }
 
+    /// Degenerate feedback (all-zero documents, whose norm guard kicks
+    /// in) and extreme weights must not panic the candidate ranking.
+    #[test]
+    fn degenerate_feedback_never_panics() {
+        let q = sv(&[(1, 1.0)]);
+        let empty = sv(&[]);
+        assert_eq!(expand_query(&q, &[&empty], 3, 0.75), q);
+        let huge = sv(&[(2, f32::MAX), (3, f32::MAX)]);
+        let e = expand_query(&q, &[&empty, &huge], 3, 0.75);
+        assert!(e.terms().iter().any(|&(t, _)| t == 2));
+    }
+
     #[test]
     fn beta_scales_feedback_weight() {
         let q = sv(&[(1, 1.0)]);
@@ -131,7 +143,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, d)| (i, m.distance(topic, d)))
                 .collect();
-            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
             let feedback: Vec<&SparseVector> =
                 ranked[..5].iter().map(|&(i, _)| &corpus.docs[i]).collect();
             // The topic's subject area = majority area of the feedback.

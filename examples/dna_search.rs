@@ -61,7 +61,7 @@ fn main() {
             )
         })
         .collect();
-    truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    truth.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     truth.truncate(10);
 
     let oracle_seqs = Arc::new(sequences.clone());

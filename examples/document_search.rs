@@ -71,7 +71,7 @@ fn main() {
         .enumerate()
         .map(|(i, d)| (ObjectId(i as u32), m2.distance(&topic, d)))
         .collect();
-    truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    truth.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     truth.truncate(10);
 
     let oracle_docs = Arc::new(corpus.docs.clone());

@@ -91,7 +91,7 @@ fn main() {
         .enumerate()
         .map(|(i, im)| (ObjectId(i as u32), metric.distance(&query, im)))
         .collect();
-    truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    truth.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     truth.truncate(10);
 
     let oracle_imgs = Arc::new(images.clone());

@@ -209,7 +209,7 @@ fn documents_angular_pipeline() {
         .enumerate()
         .map(|(i, d)| (ObjectId(i as u32), metric.distance(&topic, d)))
         .collect();
-    truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    truth.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     let truth_ids: Vec<ObjectId> = truth.iter().take(10).map(|&(id, _)| id).collect();
 
     let run = |radius: f64| {
@@ -309,7 +309,7 @@ fn tagsets_jaccard_pipeline() {
             .enumerate()
             .map(|(i, s)| (ObjectId(i as u32), metric.distance(&query, s)))
             .collect();
-        d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        d.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         d.into_iter().take(10).map(|(id, _)| id).collect()
     };
 

@@ -73,7 +73,7 @@ fn build_world(seed: u64) -> World {
             .enumerate()
             .map(|(i, o)| (ObjectId(i as u32), L2::new().distance(q, o.as_slice())))
             .collect();
-        d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        d.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         d.into_iter().take(10).map(|(id, _)| id).collect()
     };
     let query_a = QuerySpec {
