@@ -11,7 +11,6 @@ use bench::synth::{select_landmarks, synth_setup};
 use bench::{save_json, Scale};
 use landmark::{boundary_from_metric, Mapper, SelectionMethod};
 use metric::{Metric, ObjectId, L2};
-use rayon::prelude::*;
 use simsearch::{
     IndexSpec, LoadBalanceConfig, QueryDistance, QueryId, QuerySpec, SearchSystem, SystemConfig,
 };
@@ -30,17 +29,8 @@ fn main() {
     let metric = L2::bounded(100, 0.0, 100.0);
     let mapper = Mapper::new(metric, landmarks);
     let boundary = boundary_from_metric(&metric, 10).unwrap();
-    let points: Vec<Vec<f64>> = setup
-        .dataset
-        .objects
-        .par_iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
-    let qmapped: Vec<Vec<f64>> = setup
-        .qpoints
-        .par_iter()
-        .map(|q| mapper.map(q.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&setup.dataset.objects);
+    let qmapped = mapper.map_all::<[f32], _>(&setup.qpoints);
 
     let objects = Arc::new(setup.dataset.objects.clone());
     let qpoints = Arc::new(setup.qpoints.clone());

@@ -15,7 +15,6 @@ use bench::synth::{select_landmarks, synth_setup};
 use bench::{save_json, Scale};
 use landmark::{boundary_from_metric, Mapper, SelectionMethod};
 use metric::{Metric, ObjectId, L2};
-use rayon::prelude::*;
 use simsearch::{IndexSpec, QueryDistance, QueryId, SearchSystem, SystemConfig};
 use std::sync::Arc;
 
@@ -32,12 +31,7 @@ fn main() {
     let metric = L2::bounded(100, 0.0, 100.0);
     let mapper = Mapper::new(metric, landmarks);
     let boundary = boundary_from_metric(&metric, 10).unwrap();
-    let points: Vec<Vec<f64>> = setup
-        .dataset
-        .objects
-        .par_iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&setup.dataset.objects);
 
     // Estimate the 10-NN radius from the ground truth of the setup
     // (in a deployment: from a published sample); median over queries.

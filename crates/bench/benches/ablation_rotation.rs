@@ -13,7 +13,6 @@ use bench::synth::{select_landmarks, synth_setup};
 use bench::{save_json, Scale};
 use landmark::{boundary_from_metric, Mapper, SelectionMethod};
 use metric::{Metric, ObjectId, L2};
-use rayon::prelude::*;
 use simsearch::{IndexSpec, QueryDistance, QueryId, SearchSystem, SystemConfig};
 
 fn main() {
@@ -30,12 +29,7 @@ fn main() {
     let metric = L2::bounded(100, 0.0, 100.0);
     let mapper = Mapper::new(metric, landmarks);
     let boundary = boundary_from_metric(&metric, 10).expect("bounded");
-    let points: Vec<Vec<f64>> = setup
-        .dataset
-        .objects
-        .par_iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&setup.dataset.objects);
 
     let l2 = L2::new();
     let objects = Arc::new(setup.dataset.objects.clone());

@@ -124,18 +124,12 @@ fn main() {
         // range factor instead of running the whole sweep.
         use landmark::{boundary_from_metric, Mapper};
         use metric::L2;
-        use rayon::prelude::*;
         use simsearch::{IndexSpec, SearchSystem, SystemConfig};
         use std::sync::Arc;
         let landmarks = bench::synth::select_landmarks(&setup, run.method, run.k, &scale);
         let metric = L2::bounded(100, 0.0, 100.0);
         let mapper = Mapper::new(metric, landmarks);
-        let points: Vec<Vec<f64>> = setup
-            .dataset
-            .objects
-            .par_iter()
-            .map(|o| mapper.map(o.as_slice()))
-            .collect();
+        let points = mapper.map_all::<[f32], _>(&setup.dataset.objects);
         let oracle: Arc<dyn simsearch::QueryDistance> =
             Arc::new(|_q: simsearch::QueryId, _o: metric::ObjectId| 0.0);
         let system = SearchSystem::build(

@@ -12,6 +12,7 @@
 //! * [`report`] — table printing and JSON persistence under
 //!   `target/experiments/`.
 
+pub mod micro_report;
 pub mod report;
 pub mod scale;
 pub mod synth;

@@ -1,0 +1,191 @@
+//! The canonical query-path performance scenario behind
+//! `BENCH_micro.json` and the CI `bench-smoke` gate.
+//!
+//! A fixed-seed 64-node system answers a range-query batch; the
+//! telemetry counters then say exactly how much work the query path did:
+//!
+//! * `store.entries_scanned` / `store.entries_skipped` — entries
+//!   rect-tested vs. entries excluded up front by the sorted-range
+//!   binary search. "Before" the span-narrowed scan, every owned entry
+//!   was rect-tested, so `scanned + skipped` *is* the pre-change cost.
+//! * `search.refine.dist_calls` / `search.refine.pruned` — true-distance
+//!   oracle calls made vs. skipped by the landmark lower bound. The
+//!   pre-change cost is again the sum.
+//!
+//! Both prunes are exact, so recall against the brute-force oracle must
+//! sit at 100% — the scenario asserts it rather than trusts it.
+
+use std::sync::Arc;
+
+use landmark::{boundary_from_sample, kmeans, Mapper};
+use metric::{Dataset, Metric, ObjectId, L2};
+use serde_json::{ToJson, Value};
+use simnet::SimRng;
+use simsearch::{IndexSpec, QueryDistance, QueryId, QuerySpec, SearchSystem, SystemConfig};
+use workloads::{ground_truth, ClusteredParams, ClusteredVectors};
+
+const SEED: u64 = 0x64_B3;
+const N_NODES: usize = 64;
+const K_LANDMARKS: usize = 5;
+const KNN_K: usize = 10;
+
+/// Deterministic work counters of one scenario run, with the pre-change
+/// costs derived from the same counters (`before = kept + avoided`).
+#[derive(Clone, Debug)]
+pub struct MicroCounters {
+    /// Queries answered.
+    pub queries: usize,
+    /// Entries rect-tested across all nodes and fragments.
+    pub scanned: u64,
+    /// Entries excluded by the ring-key span before any rect test.
+    pub skipped: u64,
+    /// True-distance oracle calls during refinement.
+    pub dist_calls: u64,
+    /// Refinement candidates skipped by the landmark lower bound.
+    pub pruned: u64,
+    /// Mean recall against the brute-force oracle's top-k.
+    pub mean_recall: f64,
+    /// Wall time of the query batch (build excluded), milliseconds.
+    /// The only non-deterministic field; gates use the counters.
+    pub elapsed_ms: f64,
+}
+
+impl MicroCounters {
+    /// Entries a full scan would have rect-tested.
+    pub fn scanned_before(&self) -> u64 {
+        self.scanned + self.skipped
+    }
+
+    /// Oracle calls an unpruned refinement would have made.
+    pub fn dist_calls_before(&self) -> u64 {
+        self.dist_calls + self.pruned
+    }
+
+    /// Scan-work reduction factor of the sorted-range scan.
+    pub fn scan_reduction(&self) -> f64 {
+        self.scanned_before() as f64 / (self.scanned.max(1)) as f64
+    }
+}
+
+impl ToJson for MicroCounters {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "queries": self.queries as u64,
+            "scanned_before": self.scanned_before(),
+            "scanned_after": self.scanned,
+            "scan_reduction": self.scan_reduction(),
+            "dist_calls_before": self.dist_calls_before(),
+            "dist_calls_after": self.dist_calls,
+            "pruned": self.pruned,
+            "mean_recall": self.mean_recall,
+            "elapsed_ms": self.elapsed_ms,
+        })
+    }
+}
+
+/// Run the canonical 64-node query batch and collect its counters.
+///
+/// `quick` shrinks the dataset and batch (the CI smoke size); the full
+/// size is what `BENCH_micro.json` records. Both are deterministic in
+/// everything but `elapsed_ms`.
+pub fn run_micro_scenario(quick: bool) -> MicroCounters {
+    let (n_objects, n_queries) = if quick { (1_000, 16) } else { (2_000, 32) };
+    let data = ClusteredVectors::generate(
+        ClusteredParams {
+            dims: 12,
+            clusters: 5,
+            deviation: 9.0,
+            n_objects,
+            ..ClusteredParams::default()
+        },
+        SEED,
+    );
+    let metric = L2::bounded(12, 0.0, 100.0);
+    let mut rng = SimRng::new(SEED);
+    let sample: Vec<Vec<f32>> = rng
+        .sample_indices(data.objects.len(), 250)
+        .into_iter()
+        .map(|i| data.objects[i].clone())
+        .collect();
+    let landmarks = kmeans::<_, [f32], _>(&metric, &sample, K_LANDMARKS, 10, &mut rng);
+    let mapper = Mapper::new(metric, landmarks);
+    let points = mapper.map_all::<[f32], _>(&data.objects);
+
+    let qpoints = data.queries(n_queries, SEED ^ 0x51);
+    // Truth: the brute-force oracle's top-k. The query radius is padded
+    // past the k-th distance so every true neighbor is in range *and*
+    // plenty of non-answers match locally — which is what exercises the
+    // refinement prune (nodes rank more candidates than they return).
+    let dataset = Dataset::new(data.objects.clone());
+    let truth = ground_truth::knn_batch::<_, [f32], _>(&L2::new(), &dataset, &qpoints, KNN_K);
+    let queries: Vec<QuerySpec> = qpoints
+        .iter()
+        .zip(&truth)
+        .map(|(q, t)| QuerySpec {
+            index: 0,
+            point: mapper.map(q.as_slice()).into_vec(),
+            radius: t[KNN_K - 1].1 * 1.5,
+            truth: t.iter().map(|&(id, _)| id).collect(),
+        })
+        .collect();
+
+    let objects = Arc::new(data.objects.clone());
+    let qp = Arc::new(qpoints);
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        L2::new().distance(
+            qp[qid as usize].as_slice(),
+            objects[obj.0 as usize].as_slice(),
+        )
+    });
+    let mut system = SearchSystem::build(
+        SystemConfig {
+            n_nodes: N_NODES,
+            seed: SEED,
+            knn_k: KNN_K,
+            ..SystemConfig::default()
+        },
+        &[IndexSpec {
+            name: "micro".into(),
+            // Sample-derived boundary (§3.1 route 2): tight around the
+            // data, so the grid's key resolution is spent where entries
+            // actually live — this is what lets the ring-key span carve
+            // deep into each store.
+            boundary: boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.05).dims,
+            points,
+            rotate: true,
+        }],
+        oracle,
+    );
+
+    let start = std::time::Instant::now();
+    let outcomes = system.run_queries(&queries, 5.0);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mean_recall = outcomes.iter().map(|o| o.recall).sum::<f64>() / outcomes.len().max(1) as f64;
+    let tel = system.telemetry().lock();
+    MicroCounters {
+        queries: outcomes.len(),
+        scanned: tel.registry.counter("store.entries_scanned"),
+        skipped: tel.registry.counter("store.entries_skipped"),
+        dist_calls: tel.registry.counter("search.refine.dist_calls"),
+        pruned: tel.registry.counter("search.refine.pruned"),
+        mean_recall,
+        elapsed_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_counters_are_deterministic() {
+        let a = run_micro_scenario(true);
+        let b = run_micro_scenario(true);
+        assert_eq!(
+            (a.scanned, a.skipped, a.dist_calls, a.pruned),
+            (b.scanned, b.skipped, b.dist_calls, b.pruned)
+        );
+        assert_eq!(a.mean_recall, b.mean_recall);
+    }
+}

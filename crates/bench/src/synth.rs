@@ -208,17 +208,8 @@ pub fn run_synth_system(
     let mapper = Mapper::new(metric, landmarks);
     let boundary = boundary_from_metric(&metric, run.k).expect("bounded metric");
 
-    let points: Vec<Vec<f64>> = setup
-        .dataset
-        .objects
-        .par_iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
-    let qmapped: Vec<Vec<f64>> = setup
-        .qpoints
-        .par_iter()
-        .map(|q| mapper.map(q.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&setup.dataset.objects);
+    let qmapped = mapper.map_all::<[f32], _>(&setup.qpoints);
 
     let spec = IndexSpec {
         name: format!("synthetic-{}", run.label()),

@@ -17,7 +17,23 @@
 use std::borrow::Borrow;
 
 use metric::Metric;
+use rayon::prelude::*;
 use simnet::SimRng;
+
+/// Distance from every sample object to `to`, computed in parallel.
+/// Deterministic: the parallel map is a chunk-ordered fan-out, so the
+/// result equals the sequential `sample.iter().map(..)` exactly.
+fn distances_to<T, Q, M>(metric: &M, sample: &[T], to: &Q) -> Vec<f64>
+where
+    T: Borrow<Q> + Sync,
+    Q: ?Sized + Sync,
+    M: Metric<Q> + Sync,
+{
+    sample
+        .par_iter()
+        .map(|s| metric.distance(s.borrow(), to))
+        .collect()
+}
 
 /// Which landmark selection scheme an experiment uses. The paper's plots
 /// label configurations `Greedy-k` and `KMean-k`.
@@ -48,9 +64,9 @@ impl std::fmt::Display for SelectionMethod {
 /// a set being the minimum over the set's elements).
 pub fn greedy<T, Q, M>(metric: &M, sample: &[T], k: usize, rng: &mut SimRng) -> Vec<T>
 where
-    T: Clone + Borrow<Q>,
-    Q: ?Sized,
-    M: Metric<Q>,
+    T: Clone + Borrow<Q> + Sync,
+    Q: ?Sized + Sync,
+    M: Metric<Q> + Sync,
 {
     assert!(k >= 1, "need at least one landmark");
     assert!(
@@ -61,11 +77,10 @@ where
     let first = rng.index(sample.len());
     let mut chosen_idx = vec![first];
     // min-distance of each sample object to the chosen set, maintained
-    // incrementally (classic farthest-point traversal).
-    let mut min_d: Vec<f64> = sample
-        .iter()
-        .map(|s| metric.distance(s.borrow(), sample[first].borrow()))
-        .collect();
+    // incrementally (classic farthest-point traversal). Each round's
+    // sample-to-new-landmark distance pass fans out over worker threads;
+    // the argmax and min-merge stay sequential so picks are reproducible.
+    let mut min_d = distances_to(metric, sample, sample[first].borrow());
     while chosen_idx.len() < k {
         // argmax of min_d, deterministic tie-break by index.
         let (best, _) =
@@ -80,10 +95,10 @@ where
                     }
                 });
         chosen_idx.push(best);
-        for (i, s) in sample.iter().enumerate() {
-            let d = metric.distance(s.borrow(), sample[best].borrow());
-            if d < min_d[i] {
-                min_d[i] = d;
+        let new_d = distances_to(metric, sample, sample[best].borrow());
+        for (m, d) in min_d.iter_mut().zip(new_d) {
+            if d < *m {
+                *m = d;
             }
         }
     }
@@ -149,21 +164,21 @@ impl Centroid for metric::SparseVector {
 /// clusters are reseeded from the sample.
 pub fn kmeans<T, Q, M>(metric: &M, sample: &[T], k: usize, iters: usize, rng: &mut SimRng) -> Vec<T>
 where
-    T: Centroid + Borrow<Q>,
-    Q: ?Sized,
-    M: Metric<Q>,
+    T: Centroid + Borrow<Q> + Sync,
+    Q: ?Sized + Sync,
+    M: Metric<Q> + Sync,
 {
     assert!(k >= 1);
     assert!(sample.len() >= k);
     // --- k-means++ seeding ---
+    // Distance passes fan out over worker threads; everything that
+    // consumes the RNG or merges results stays sequential, so seeding is
+    // byte-identical to the single-threaded version.
     let mut centers: Vec<T> = Vec::with_capacity(k);
     centers.push(sample[rng.index(sample.len())].clone());
-    let mut d2: Vec<f64> = sample
-        .iter()
-        .map(|s| {
-            let d = metric.distance(s.borrow(), centers[0].borrow());
-            d * d
-        })
+    let mut d2: Vec<f64> = distances_to(metric, sample, centers[0].borrow())
+        .into_iter()
+        .map(|d| d * d)
         .collect();
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
@@ -182,11 +197,11 @@ where
             idx
         };
         centers.push(sample[pick].clone());
-        for (i, s) in sample.iter().enumerate() {
-            let d = metric.distance(s.borrow(), centers.last().unwrap().borrow());
+        let new_d = distances_to(metric, sample, centers.last().unwrap().borrow());
+        for (m, d) in d2.iter_mut().zip(new_d) {
             let dd = d * d;
-            if dd < d2[i] {
-                d2[i] = dd;
+            if dd < *m {
+                *m = dd;
             }
         }
     }
@@ -194,16 +209,25 @@ where
     let mut assignment = vec![0usize; sample.len()];
     for _ in 0..iters {
         let mut changed = false;
-        for (i, s) in sample.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c, center) in centers.iter().enumerate() {
-                let d = metric.distance(s.borrow(), center.borrow());
-                if d < best_d {
-                    best_d = d;
-                    best = c;
+        // Assignment is embarrassingly parallel: each object's nearest
+        // center is independent, ties break by center index in every
+        // thread identically.
+        let best_center: Vec<usize> = sample
+            .par_iter()
+            .map(|s| {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, center) in centers.iter().enumerate() {
+                    let d = metric.distance(s.borrow(), center.borrow());
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
                 }
-            }
+                best
+            })
+            .collect();
+        for (i, best) in best_center.into_iter().enumerate() {
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;

@@ -175,6 +175,30 @@ impl Grid {
         p
     }
 
+    /// The inclusive span `[hash(rect.lo()), hash(rect.hi())]` of hash
+    /// keys that points inside `rect` can map to.
+    ///
+    /// [`Grid::hash`] is monotone under componentwise dominance: for
+    /// `p <= q` in every coordinate, consider the highest key bit where
+    /// the two hashes differ. That bit belongs to some dimension `j`,
+    /// and since all higher bits agree, the bits of `j`'s per-dimension
+    /// cell index above it agree too — so the differing bit decides the
+    /// order of the cell indices. Per-dimension cell indices are
+    /// non-decreasing in the coordinate (each division is a midpoint
+    /// comparison against a fixed grid), hence the bit is `0` in
+    /// `hash(p)` and `1` in `hash(q)`, i.e. `hash(p) <= hash(q)`.
+    ///
+    /// Every point of `rect` dominates `rect.lo()` and is dominated by
+    /// `rect.hi()`, so its hash lies in the returned span. The span is
+    /// exact at both ends (the corners attain it) and never wider —
+    /// usually far narrower — than the key range of
+    /// [`Grid::enclosing_prefix`], which rounds the region up to a whole
+    /// cuboid. Unlike `enclosing_prefix`, this accepts unclipped regions
+    /// (`hash` clamps out-of-boundary coordinates).
+    pub fn key_span(&self, rect: &Rect) -> (u64, u64) {
+        (self.hash(rect.lo()), self.hash(rect.hi()))
+    }
+
     /// One division of Algorithm 4: refine `q` at division
     /// `q.prefix.len() + 1`.
     ///
@@ -498,6 +522,52 @@ mod tests {
             assert_eq!(parts[0].prefix.len(), g.depth());
             assert_eq!(parts[0].prefix, Prefix::new(g.hash(&p), g.depth()));
         }
+    }
+
+    #[test]
+    fn key_span_bounds_every_contained_point() {
+        let g = grid2();
+        let rect = Rect::new(vec![1.3, 2.1], vec![5.9, 3.7]);
+        let (lo, hi) = g.key_span(&rect);
+        assert!(lo <= hi);
+        for xi in 0..=20 {
+            for yi in 0..=20 {
+                let p = [
+                    1.3 + (5.9 - 1.3) * xi as f64 / 20.0,
+                    2.1 + (3.7 - 2.1) * yi as f64 / 20.0,
+                ];
+                let k = g.hash(&p);
+                assert!((lo..=hi).contains(&k), "hash of {p:?} escapes span");
+            }
+        }
+        // The corners attain the span ends exactly.
+        assert_eq!(lo, g.hash(&[1.3, 2.1]));
+        assert_eq!(hi, g.hash(&[5.9, 3.7]));
+    }
+
+    #[test]
+    fn key_span_no_wider_than_enclosing_prefix_range() {
+        let g = grid2();
+        for rect in [
+            Rect::new(vec![0.5, 0.5], vec![1.5, 1.5]),
+            Rect::new(vec![3.9, 0.0], vec![4.1, 8.0]),
+            Rect::new(vec![2.1, 4.1], vec![3.9, 7.9]),
+            Rect::new(vec![4.0, 4.0], vec![4.0, 4.0]),
+        ] {
+            let (lo, hi) = g.key_span(&rect);
+            let (plo, phi) = g.enclosing_prefix(&rect).key_range();
+            assert!(plo <= lo && hi <= phi, "span wider than prefix range");
+        }
+    }
+
+    #[test]
+    fn key_span_accepts_unclipped_regions() {
+        let g = grid2();
+        // A ball poking outside the boundary: hash clamps, so the span
+        // is just the clipped region's span.
+        let (lo, hi) = g.key_span(&Rect::new(vec![-2.0, 3.0], vec![1.0, 9.0]));
+        assert_eq!(lo, g.hash(&[0.0, 3.0]));
+        assert_eq!(hi, g.hash(&[1.0, 8.0]));
     }
 
     #[test]

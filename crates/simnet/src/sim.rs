@@ -114,6 +114,12 @@ impl<'a, M> Ctx<'a, M> {
             if faults.dup_rate > 0.0 && self.core.dup_rng.f64() < faults.dup_rate {
                 // The duplicate trails the original by one extra
                 // propagation delay, as if retransmitted by the network.
+                // Invariant: this is the only place delivery clones the
+                // message — fan-out is 2 here (duplicate + original), and
+                // every other path below moves `msg` into the queue. Keep
+                // it that way: `Clone` on a `SearchMsg` copies the whole
+                // entry/result payload, and the common path must stay
+                // zero-copy (`send_is_zero_copy_without_dup_faults`).
                 self.core.stats.duplicated += 1;
                 self.core.queue.push(
                     self.core.now + delay + delay,
@@ -811,6 +817,86 @@ mod tests {
         assert_eq!(sim.stats().partitioned, 5);
         assert_eq!(sim.stats().messages, 15);
         assert_eq!(sim.agent(AgentId(1)).received, 10);
+    }
+
+    /// Message whose clones are tallied, to pin down the delivery path's
+    /// copying behavior.
+    #[derive(Debug)]
+    struct CountedMsg(u8);
+
+    static MSG_CLONES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    impl Clone for CountedMsg {
+        fn clone(&self) -> Self {
+            MSG_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            CountedMsg(self.0)
+        }
+    }
+
+    struct CountedForwarder {
+        received: usize,
+    }
+
+    impl Agent for CountedForwarder {
+        type Msg = CountedMsg;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, CountedMsg>, _from: AgentId, msg: CountedMsg) {
+            self.received += 1;
+            if ctx.me() == AgentId(0) {
+                ctx.send(AgentId(1), msg, 10);
+            }
+        }
+    }
+
+    fn run_counted(faults: FaultPlane, n: usize) -> (usize, NetStats) {
+        let topo = Topology::uniform(2, SimTime::from_millis(10));
+        let mut sim = Sim::new(
+            topo,
+            vec![
+                CountedForwarder { received: 0 },
+                CountedForwarder { received: 0 },
+            ],
+            7,
+        );
+        sim.set_faults(faults);
+        for _ in 0..n {
+            sim.inject(SimTime::ZERO, AgentId(0), CountedMsg(1));
+        }
+        sim.run();
+        (sim.agent(AgentId(1)).received, sim.stats())
+    }
+
+    /// `Ctx::send` must move the message into the event queue — fan-out
+    /// is 1, so a clone would be a pure copy tax on every delivery (the
+    /// payloads are whole index entries and result sets). The one
+    /// exception is the duplication fault, whose fan-out of 2 needs
+    /// exactly one clone per duplicated send.
+    #[test]
+    fn send_is_zero_copy_without_dup_faults() {
+        MSG_CLONES.store(0, std::sync::atomic::Ordering::Relaxed);
+        let (received, _) = run_counted(FaultPlane::default(), 300);
+        assert_eq!(received, 300);
+        assert_eq!(
+            MSG_CLONES.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "fan-out-1 delivery must not clone the message"
+        );
+
+        MSG_CLONES.store(0, std::sync::atomic::Ordering::Relaxed);
+        let (received, stats) = run_counted(
+            FaultPlane {
+                dup_rate: 0.5,
+                ..FaultPlane::default()
+            },
+            300,
+        );
+        let dup = stats.duplicated as usize;
+        assert!(dup > 0, "dup fault must have fired");
+        assert_eq!(received, 300 + dup);
+        assert_eq!(
+            MSG_CLONES.load(std::sync::atomic::Ordering::Relaxed),
+            dup,
+            "exactly one clone per duplicated send, none otherwise"
+        );
     }
 
     #[test]

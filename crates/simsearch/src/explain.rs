@@ -109,6 +109,7 @@ impl SearchSystem {
             prefix,
             hops: 0,
             origin: AgentId(origin),
+            ball: None,
         };
 
         let mut report = ExplainReport::default();

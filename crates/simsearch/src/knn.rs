@@ -79,6 +79,7 @@ impl SearchSystem {
         let mut total_ms = 0.0;
         let mut results: Vec<(ObjectId, f64)> = Vec::new();
         let mut rng = simnet::SimRng::new(self.cfg.seed).fork(0x6A ^ qid as u64);
+        let center: std::sync::Arc<[f64]> = point.into();
         while rounds < max_rounds {
             rounds += 1;
             let origin = AgentId(rng.index(self.cfg.n_nodes));
@@ -95,6 +96,13 @@ impl SearchSystem {
                     prefix,
                     hops: 0,
                     origin,
+                    // This round's ball: pruning stays exact per round
+                    // because certification only inspects distances
+                    // `<= radius`, which the bound can never exclude.
+                    ball: Some(crate::msg::QueryBall {
+                        center: std::sync::Arc::clone(&center),
+                        radius,
+                    }),
                 }),
             );
             self.sim.run();

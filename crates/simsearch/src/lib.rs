@@ -52,7 +52,7 @@ pub mod telemetry;
 
 pub use explain::{ExplainReport, ExplainStep, StepKind};
 pub use knn::KnnOutcome;
-pub use msg::{QueryDistance, QueryId, SearchMsg, SubQueryMsg};
+pub use msg::{QueryBall, QueryDistance, QueryId, SearchMsg, SubQueryMsg};
 pub use node::SearchNode;
 pub use overlay::{FailureAware, Overlay, OverlayKind, OverlayTable};
 pub use refresh::ReindexReport;

@@ -29,6 +29,64 @@ impl<F: Fn(QueryId, ObjectId) -> f64 + Send + Sync> QueryDistance for F {
 /// Shared oracle handle.
 pub type DistanceOracle = Arc<dyn QueryDistance>;
 
+/// The query's index-space ball: the mapped query point (its vector of
+/// landmark distances) plus the metric search radius.
+///
+/// Answering nodes use it for LAESA-style refinement pruning: the
+/// contractive landmark mapping gives the pivot lower bound
+/// `max_i |d(q,l_i) − x_i| ≤ d(q,x)`, so a candidate whose stored point
+/// is further than `radius` from `center` in L∞ provably lies outside
+/// the metric range and the true-distance call can be skipped. The
+/// center is shared (`Arc`) so fragment splitting clones a pointer, not
+/// the vector.
+#[derive(Clone, Debug)]
+pub struct QueryBall {
+    /// The query's landmark vector `(d(q,l_1), …, d(q,l_k))`.
+    pub center: Arc<[f64]>,
+    /// The metric search radius `r`.
+    pub radius: f64,
+}
+
+impl QueryBall {
+    /// The pivot lower bound `max_i |q_i − x_i| ≤ d(q,x)` — by the
+    /// triangle inequality each landmark coordinate of the mapping is
+    /// 1-Lipschitz, so the L∞ gap between the query's landmark vector
+    /// and an object's never exceeds their true distance.
+    ///
+    /// `point` is a *stored* vector, clamped onto `bounds` at publish
+    /// time: a coordinate sitting exactly on the boundary may stand for
+    /// any value beyond it, so only the gap on the interior side of the
+    /// boundary is certain there. Interior coordinates are exact and use
+    /// the raw (possibly out-of-bounds) query coordinate. NaN
+    /// coordinates contribute nothing (`f64::max` skips NaN), so a
+    /// degenerate mapping can only weaken the bound, never inflate it.
+    pub fn lower_bound(&self, point: &[f64], bounds: &Rect) -> f64 {
+        let mut lb = 0.0f64;
+        let dims = self.center.len().min(point.len());
+        for (i, &x) in point.iter().enumerate().take(dims) {
+            let q = self.center[i];
+            let (lo, hi) = (bounds.lo()[i], bounds.hi()[i]);
+            let gap = if x >= hi {
+                (hi - q).max(0.0)
+            } else if x <= lo {
+                (q - lo).max(0.0)
+            } else {
+                (q - x).abs()
+            };
+            lb = lb.max(gap);
+        }
+        lb
+    }
+
+    /// True when the object at `point` provably lies outside the metric
+    /// range: `lower_bound > radius` implies `d(q,x) > r`. The strict
+    /// comparison is false on NaN, so nothing is excluded on degenerate
+    /// input.
+    pub fn excludes(&self, point: &[f64], bounds: &Rect) -> bool {
+        self.lower_bound(point, bounds) > self.radius
+    }
+}
+
 /// A query fragment in flight.
 #[derive(Clone, Debug)]
 pub struct SubQueryMsg {
@@ -44,6 +102,12 @@ pub struct SubQueryMsg {
     pub hops: u32,
     /// Where results go.
     pub origin: AgentId,
+    /// The query ball for refinement pruning; `None` disables pruning
+    /// (e.g. for drivers whose oracle is not contractive under the
+    /// index mapping). Not counted by the §4.1 byte model: the center
+    /// duplicates information the rect already carries for interior
+    /// queries, and the model stays comparable with the paper's figures.
+    pub ball: Option<QueryBall>,
 }
 
 /// Messages of the index layer.
@@ -181,6 +245,7 @@ mod tests {
             prefix: Prefix::ROOT,
             hops: 0,
             origin: AgentId(0),
+            ball: None,
         };
         let k = |_: u8| 10usize;
         assert_eq!(
@@ -212,6 +277,7 @@ mod tests {
             prefix: Prefix::ROOT,
             hops: 0,
             origin: AgentId(0),
+            ball: None,
         };
         let k = |_: u8| 10usize;
         assert_eq!(msg_bytes(&SearchMsg::Ack { seq: 7 }, k), 28);

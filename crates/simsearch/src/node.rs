@@ -414,17 +414,49 @@ impl SearchNode {
     ) {
         let resilient = self.resilience.is_some();
         let ix = &self.indexes[index as usize];
+        // Every fragment of one query shares the same ball, so any copy
+        // serves for refinement pruning.
+        let ball = fragments[0].ball.clone();
+        // Each fragment's region occupies a contiguous ring-key span (the
+        // hash is monotone; see `lph::Grid::key_span`), so the ordered
+        // store is binary-searched down to that span instead of scanned
+        // end to end.
+        let spans: Vec<(u64, u64)> = fragments
+            .iter()
+            .map(|f| {
+                let (lo, hi) = ix.grid.key_span(&f.rect);
+                (ix.rotation.to_ring(lo), ix.rotation.to_ring(hi))
+            })
+            .collect();
         // Collect matching entries over all fragments, dedup by object.
-        let mut seen: Vec<ObjectId> = Vec::new();
+        // A candidate carries its pivot lower bound (`None` without a
+        // ball: such candidates are never pruned); candidates provably
+        // outside the metric range are dropped before refinement.
+        let mut cands: Vec<(ObjectId, Option<f64>)> = Vec::new();
+        let mut range_pruned: Vec<ObjectId> = Vec::new();
+        let mut pruned = 0u64;
         let mut scanned = 0u64;
         let mut matched = 0u64;
-        for f in &fragments {
-            let (hits, work) = ix.store.scan(&f.rect);
+        let mut skipped = 0u64;
+        for (f, span) in fragments.iter().zip(&spans) {
+            let (hits, work) = ix.store.scan_range(&f.rect, *span);
             scanned += work.scanned as u64;
             matched += work.matched as u64;
+            skipped += work.skipped as u64;
             for e in hits {
-                if !seen.contains(&e.obj) {
-                    seen.push(e.obj);
+                if cands.iter().any(|(o, _)| *o == e.obj) || range_pruned.contains(&e.obj) {
+                    continue;
+                }
+                match &ball {
+                    Some(b) if b.excludes(&e.point, ix.grid.bounds()) => {
+                        range_pruned.push(e.obj);
+                        pruned += 1;
+                    }
+                    b => cands.push((
+                        e.obj,
+                        b.as_ref()
+                            .map(|b| b.lower_bound(&e.point, ix.grid.bounds())),
+                    )),
                 }
             }
         }
@@ -433,15 +465,29 @@ impl SearchNode {
         // suspicion is false — the origin deduplicates by object.
         let mut replica_answers = 0u64;
         if resilient && !self.suspected.is_empty() {
-            for (owner, e) in ix.store.replicas() {
-                if !self.suspected.contains(owner) {
-                    continue;
-                }
-                if fragments.iter().any(|f| f.rect.contains_point(&e.point))
-                    && !seen.contains(&e.obj)
-                {
-                    seen.push(e.obj);
-                    replica_answers += 1;
+            for (f, span) in fragments.iter().zip(&spans) {
+                let (reps, _) = ix.store.replicas_in_span(*span);
+                for (owner, e) in reps {
+                    if !self.suspected.contains(owner) || !f.rect.contains_point(&e.point) {
+                        continue;
+                    }
+                    if cands.iter().any(|(o, _)| *o == e.obj) || range_pruned.contains(&e.obj) {
+                        continue;
+                    }
+                    match &ball {
+                        Some(b) if b.excludes(&e.point, ix.grid.bounds()) => {
+                            range_pruned.push(e.obj);
+                            pruned += 1;
+                        }
+                        b => {
+                            cands.push((
+                                e.obj,
+                                b.as_ref()
+                                    .map(|b| b.lower_bound(&e.point, ix.grid.bounds())),
+                            ));
+                            replica_answers += 1;
+                        }
+                    }
                 }
             }
         }
@@ -462,14 +508,33 @@ impl SearchNode {
                 }
             }
         }
-        let mut ranked: Vec<(ObjectId, f64)> = seen
-            .into_iter()
-            .map(|o| (o, self.oracle.distance(qid, o)))
-            .collect();
-        // total_cmp, not partial_cmp().unwrap(): a NaN distance from a
-        // degenerate oracle must not panic the answering node mid-query.
-        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(self.knn_k);
+        // Refinement: rank candidates by true metric distance, keeping
+        // the node's k best in sorted order as we go. Once k distances
+        // are known, a candidate whose lower bound exceeds the current
+        // k-th distance cannot enter the reply, so its (potentially
+        // expensive) metric call is skipped. Strict `>` means ties — and
+        // NaN bounds or distances — fall through to the metric call, so
+        // the reply is identical to the unpruned sort-then-truncate.
+        let mut ranked: Vec<(ObjectId, f64)> = Vec::new();
+        let mut dist_calls = 0u64;
+        for (o, lb) in cands {
+            if ranked.len() == self.knn_k {
+                if let (Some(lb), Some(&(_, worst))) = (lb, ranked.last()) {
+                    if lb > worst {
+                        pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let d = self.oracle.distance(qid, o);
+            dist_calls += 1;
+            // total_cmp, not partial_cmp().unwrap(): a NaN distance from
+            // a degenerate oracle must not panic the answering node
+            // mid-query.
+            let pos = ranked.partition_point(|x| x.1.total_cmp(&d).then(x.0.cmp(&o)).is_lt());
+            ranked.insert(pos, (o, d));
+            ranked.truncate(self.knn_k);
+        }
         let returned = ranked.len() as u64;
         let origin = fragments[0].origin;
         let msg = SearchMsg::Results {
@@ -494,6 +559,11 @@ impl SearchNode {
             );
             tel.incr("store.entries_scanned", scanned);
             tel.incr("store.entries_matched", matched);
+            tel.incr("store.entries_skipped", skipped);
+            tel.incr("search.refine.dist_calls", dist_calls);
+            if pruned > 0 {
+                tel.incr("search.refine.pruned", pruned);
+            }
             tel.incr("search.msgs.results", 1);
             tel.incr("search.bytes.results", bytes as u64);
             if replica_answers > 0 {
@@ -845,6 +915,7 @@ mod tests {
             prefix,
             hops: 0,
             origin: AgentId(0),
+            ball: None,
         })
     }
 
@@ -894,6 +965,7 @@ mod tests {
                 prefix: Prefix::ROOT,
                 hops: 0,
                 origin: AgentId(1),
+                ball: None,
             }),
         );
         sim.run();

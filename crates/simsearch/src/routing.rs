@@ -357,6 +357,7 @@ mod tests {
             prefix,
             hops: 0,
             origin: AgentId(0),
+            ball: None,
         }
     }
 

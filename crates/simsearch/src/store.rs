@@ -106,16 +106,22 @@ impl Store {
 
     /// Store (or refresh) one replica copy on behalf of `owner`.
     /// Idempotent per `(owner, object)`: a retransmitted or re-published
-    /// copy replaces the previous one instead of duplicating it.
+    /// copy replaces the previous one instead of duplicating it. Replicas
+    /// are kept in entry ring-key order (the same invariant as
+    /// [`Store::insert`]) so replica-answer scans can reuse the
+    /// binary-search path.
     pub fn put_replica(&mut self, owner: u64, e: Entry) {
-        match self
+        if let Some(i) = self
             .replicas
-            .iter_mut()
-            .find(|(o, x)| *o == owner && x.obj == e.obj)
+            .iter()
+            .position(|(o, x)| *o == owner && x.obj == e.obj)
         {
-            Some(slot) => slot.1 = e,
-            None => self.replicas.push((owner, e)),
+            self.replicas.remove(i);
         }
+        let pos = self
+            .replicas
+            .partition_point(|(_, x)| x.ring_key <= e.ring_key);
+        self.replicas.insert(pos, (owner, e));
     }
 
     /// All held replicas as `(owner ring id, entry)` pairs.
@@ -145,20 +151,83 @@ impl Store {
         let stats = ScanStats {
             scanned,
             matched: hits.len(),
+            skipped: 0,
         };
         (hits, stats)
+    }
+
+    /// Like [`Store::scan`], but first binary-searches the ordered
+    /// `entries` slice down to the inclusive ring-key span `span` and
+    /// rect-tests only the entries inside it, skipping the rest in O(log
+    /// n). The span is in *ring* key space (already rotated) and may wrap
+    /// (`lo > hi`), in which case it denotes `[0, hi] ∪ [lo, u64::MAX]`.
+    ///
+    /// The caller derives the span from the query region (see
+    /// `lph::Grid::key_span`); every entry whose point lies in `rect`
+    /// hashes into the span, so the result set equals `scan(rect)` —
+    /// only `scanned`/`skipped` accounting differs. Hits come back in
+    /// ascending ring-key order, exactly as `scan` yields them.
+    pub fn scan_range<'a>(&'a self, rect: &Rect, span: (u64, u64)) -> (Vec<&'a Entry>, ScanStats) {
+        let (a, b) = span_ranges(&self.entries, |e| e.ring_key, span);
+        let scanned = a.len() + b.len();
+        let hits: Vec<&Entry> = self.entries[a]
+            .iter()
+            .chain(self.entries[b].iter())
+            .filter(|e| rect.contains_point(&e.point))
+            .collect();
+        let stats = ScanStats {
+            scanned,
+            matched: hits.len(),
+            skipped: self.entries.len() - scanned,
+        };
+        (hits, stats)
+    }
+
+    /// Replica copies whose entry ring key falls in `span` (same wrap
+    /// convention as [`Store::scan_range`]), in ascending ring-key order,
+    /// plus the number of replicas the binary search let us skip.
+    pub fn replicas_in_span(
+        &self,
+        span: (u64, u64),
+    ) -> (impl Iterator<Item = &(u64, Entry)>, usize) {
+        let (a, b) = span_ranges(&self.replicas, |(_, x)| x.ring_key, span);
+        let skipped = self.replicas.len() - a.len() - b.len();
+        let it = self.replicas[a].iter().chain(self.replicas[b].iter());
+        (it, skipped)
+    }
+}
+
+/// The (up to two) index ranges of `items` — sorted ascending by
+/// `key` — covered by the inclusive, possibly wrapping key span.
+fn span_ranges<T>(
+    items: &[T],
+    key: impl Fn(&T) -> u64,
+    (lo, hi): (u64, u64),
+) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    let start = |k: u64| items.partition_point(|x| key(x) < k);
+    let end = |k: u64| items.partition_point(|x| key(x) <= k);
+    if lo <= hi {
+        (start(lo)..end(hi), 0..0)
+    } else {
+        // Wrapped span: the low arc first keeps ascending key order.
+        (0..end(hi), start(lo)..items.len())
     }
 }
 
 /// Work accounting for one local scan of a node's store.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScanStats {
-    /// Entries examined (the node's whole store — entries are ordered by
-    /// ring key, not by index-space coordinates, so a region query cannot
-    /// narrow the scan).
+    /// Entries actually rect-tested. For [`Store::scan`] this is the
+    /// node's whole store; for [`Store::scan_range`] only the entries
+    /// inside the query's ring-key span — the locality-preserving hash
+    /// keeps a region's entries key-contiguous, so this collapses toward
+    /// `matched`.
     pub scanned: usize,
     /// Entries whose index point fell inside the query region.
     pub matched: usize,
+    /// Entries excluded by the key-span binary search without a
+    /// rect test (`scanned + skipped` = store size).
+    pub skipped: usize,
 }
 
 #[cfg(test)]
@@ -238,9 +307,89 @@ mod tests {
             stats,
             ScanStats {
                 scanned: 3,
-                matched: 1
+                matched: 1,
+                skipped: 0
             }
         );
+    }
+
+    #[test]
+    fn scan_range_narrows_to_the_key_span() {
+        let mut s = Store::new();
+        s.extend((0..10).map(|i| e(i * 10, i as u32, i as f64)));
+        // Points 0..10; rect matches 3..=6, whose keys live in [30, 60].
+        let rect = Rect::new(vec![3.0], vec![6.0]);
+        let (hits, stats) = s.scan_range(&rect, (30, 60));
+        let objs: Vec<u32> = hits.iter().map(|x| x.obj.0).collect();
+        assert_eq!(objs, vec![3, 4, 5, 6]);
+        assert_eq!(
+            stats,
+            ScanStats {
+                scanned: 4,
+                matched: 4,
+                skipped: 6
+            }
+        );
+        // Same hits as the full scan, in the same order.
+        let (full, full_stats) = s.scan(&rect);
+        assert_eq!(hits, full);
+        assert_eq!(full_stats.scanned, 10);
+    }
+
+    #[test]
+    fn scan_range_handles_wrapped_spans() {
+        let mut s = Store::new();
+        s.extend((0..10).map(|i| e(i * 10, i as u32, i as f64)));
+        let rect = Rect::new(vec![0.0], vec![9.0]); // matches everything
+                                                    // Span wraps: keys <= 20 and >= 80 — entries 0,1,2,8,9.
+        let (hits, stats) = s.scan_range(&rect, (80, 20));
+        let objs: Vec<u32> = hits.iter().map(|x| x.obj.0).collect();
+        assert_eq!(objs, vec![0, 1, 2, 8, 9]);
+        assert_eq!(stats.scanned, 5);
+        assert_eq!(stats.skipped, 5);
+    }
+
+    #[test]
+    fn scan_range_empty_span_scans_nothing() {
+        let mut s = Store::new();
+        s.extend((0..5).map(|i| e(i * 10, i as u32, i as f64)));
+        let rect = Rect::new(vec![0.0], vec![9.0]);
+        let (hits, stats) = s.scan_range(&rect, (41, 49));
+        assert!(hits.is_empty());
+        assert_eq!(stats.scanned, 0);
+        assert_eq!(stats.skipped, 5);
+    }
+
+    #[test]
+    fn put_replica_keeps_ring_key_order() {
+        let mut s = Store::new();
+        s.put_replica(1, e(30, 0, 0.0));
+        s.put_replica(2, e(10, 1, 0.0));
+        s.put_replica(1, e(20, 2, 0.0));
+        let keys: Vec<u64> = s.replicas().iter().map(|(_, x)| x.ring_key).collect();
+        assert_eq!(keys, vec![10, 20, 30]);
+        // A refresh that moves an entry's key re-sorts it into place.
+        s.put_replica(1, e(5, 0, 0.0));
+        let keys: Vec<u64> = s.replicas().iter().map(|(_, x)| x.ring_key).collect();
+        assert_eq!(keys, vec![5, 10, 20]);
+        assert_eq!(s.replica_count(), 3);
+    }
+
+    #[test]
+    fn replicas_in_span_binary_searches() {
+        let mut s = Store::new();
+        for i in 0..10u32 {
+            s.put_replica(7, e(i as u64 * 10, i, i as f64));
+        }
+        let (it, skipped) = s.replicas_in_span((25, 55));
+        let objs: Vec<u32> = it.map(|(_, x)| x.obj.0).collect();
+        assert_eq!(objs, vec![3, 4, 5]);
+        assert_eq!(skipped, 7);
+        // Wrapped span yields the low arc first.
+        let (it, skipped) = s.replicas_in_span((85, 15));
+        let objs: Vec<u32> = it.map(|(_, x)| x.obj.0).collect();
+        assert_eq!(objs, vec![0, 1, 9]);
+        assert_eq!(skipped, 7);
     }
 
     #[test]

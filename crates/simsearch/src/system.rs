@@ -13,7 +13,7 @@ use simnet::telemetry::histogram_of;
 use simnet::{AgentId, Sim, SimRng, SimTime, Topology};
 
 use crate::load::{self, LoadBalanceReport};
-use crate::msg::{DistanceOracle, QueryId, SearchMsg, SubQueryMsg};
+use crate::msg::{DistanceOracle, QueryBall, QueryId, SearchMsg, SubQueryMsg};
 use crate::node::{IndexState, SearchNode};
 use crate::overlay::{Overlay, OverlayKind};
 use crate::resilience::ResilienceConfig;
@@ -541,6 +541,12 @@ impl SearchSystem {
                     prefix,
                     hops: 0,
                     origin,
+                    // The unclamped landmark vector: answering nodes
+                    // prune refinement candidates against this ball.
+                    ball: Some(QueryBall {
+                        center: q.point.clone().into(),
+                        radius: q.radius,
+                    }),
                 }),
             );
         }

@@ -90,6 +90,7 @@ fn check_world(
         prefix: grid.enclosing_prefix(&rect),
         hops: 0,
         origin: AgentId(0),
+        ball: None,
     };
     let (answers, msgs) = resolve(&tables, &grid, rot, start % n_nodes, sq);
 
@@ -202,6 +203,7 @@ fn zero_radius_query_is_a_single_point_lookup() {
             prefix: grid.enclosing_prefix(&rect),
             hops: 0,
             origin: AgentId(0),
+            ball: None,
         };
         let start = (seed as usize) % 12;
         let (answers, _) = resolve(&tables, &grid, Rotation::IDENTITY, start, sq);
@@ -227,6 +229,7 @@ fn single_node_world_answers_locally() {
         prefix: grid.enclosing_prefix(&rect),
         hops: 0,
         origin: AgentId(0),
+        ball: None,
     };
     let (answers, msgs) = resolve(&tables, &grid, Rotation::IDENTITY, 0, sq);
     assert_eq!(msgs, 0, "one node: zero network messages");

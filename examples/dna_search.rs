@@ -43,7 +43,7 @@ fn main() {
     println!("selected 6 greedy landmark sequences");
 
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = sequences.iter().map(|s| mapper.map(s.as_str())).collect();
+    let points = mapper.map_all::<str, _>(sequences);
     // Edit distance is unbounded: take the boundary from the sample
     // (paper §3.1 route 2; the alternative is the d/(1+d) transform).
     let boundary = boundary_from_sample::<_, str, _>(&mapper, &sample, 0.05);
@@ -93,7 +93,7 @@ fn main() {
     let outcomes = system.run_queries(
         &[QuerySpec {
             index: 0,
-            point: mapper.map(query.as_str()),
+            point: mapper.map(query.as_str()).into_vec(),
             radius: 12.0,
             truth: truth.iter().map(|&(id, _)| id).collect(),
         }],

@@ -51,7 +51,7 @@ fn main() {
     );
 
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = corpus.docs.iter().map(|d| mapper.map(d)).collect();
+    let points = mapper.map_all::<SparseVector, _>(&corpus.docs);
     // Boundary from the selection sample (§3.1 route 2): angular spaces
     // have no useful a-priori per-dimension spread.
     let boundary = boundary_from_sample::<_, SparseVector, _>(&mapper, &sample, 0.02);
@@ -104,7 +104,7 @@ fn main() {
     let outcomes = system.run_queries(
         &[QuerySpec {
             index: 0,
-            point: mapper.map(&topic),
+            point: mapper.map(&topic).into_vec(),
             radius,
             truth: truth.iter().map(|&(id, _)| id).collect(),
         }],
@@ -158,7 +158,7 @@ fn main() {
     });
     // Fresh system (a real deployment would reuse the ring; the index is
     // identical — rebuilding keeps this example self-contained).
-    let points2: Vec<Vec<f64>> = corpus.docs.iter().map(|d| mapper.map(d)).collect();
+    let points2 = mapper.map_all::<SparseVector, _>(&corpus.docs);
     let boundary2 = boundary_from_sample::<_, SparseVector, _>(&mapper, &sample, 0.02);
     let mut system2 = SearchSystem::build(
         SystemConfig {
@@ -177,7 +177,7 @@ fn main() {
     let outcomes2 = system2.run_queries(
         &[QuerySpec {
             index: 0,
-            point: mapper.map(&expanded),
+            point: mapper.map(&expanded).into_vec(),
             radius,
             truth: truth.iter().map(|&(id, _)| id).collect(),
         }],

@@ -78,7 +78,7 @@ fn main() {
     println!("selected 6 k-medoid landmark images");
 
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = images.iter().map(|im| mapper.map(im)).collect();
+    let points = mapper.map_all::<PointSet, _>(&images);
     let boundary = boundary_from_sample::<_, PointSet, _>(&mapper, &sample, 0.05);
 
     // Query: a fresh (unindexed) view of template 7.
@@ -122,7 +122,7 @@ fn main() {
     let outcomes = system.run_queries(
         &[QuerySpec {
             index: 0,
-            point: mapper.map(&query),
+            point: mapper.map(&query).into_vec(),
             radius: 8.0, // Hausdorff units: within shape-jitter range
             truth: truth.iter().map(|&(id, _)| id).collect(),
         }],

@@ -49,11 +49,7 @@ fn main() {
         .collect();
     let vlandmarks = kmeans::<_, [f32], _>(&vmetric, &vsample, 4, 10, &mut rng);
     let vmapper = Mapper::new(vmetric, vlandmarks);
-    let vpoints: Vec<Vec<f64>> = vectors
-        .objects
-        .iter()
-        .map(|o| vmapper.map(o.as_slice()))
-        .collect();
+    let vpoints = vmapper.map_all::<[f32], _>(&vectors.objects);
 
     // --- index 1: documents / angular ---
     let corpus = Corpus::generate(
@@ -73,7 +69,7 @@ fn main() {
         .collect();
     let dlandmarks = kmeans::<_, SparseVector, _>(&Angular::new(), &dsample, 5, 8, &mut rng);
     let dmapper = Mapper::new(Angular::new(), dlandmarks);
-    let dpoints: Vec<Vec<f64>> = corpus.docs.iter().map(|d| dmapper.map(d)).collect();
+    let dpoints = dmapper.map_all::<SparseVector, _>(&corpus.docs);
 
     // --- index 2: DNA / edit distance ---
     let dna = StringWorkload::generate(StringWorkloadParams::default(), seed);
@@ -84,11 +80,7 @@ fn main() {
         .collect();
     let slandmarks = greedy::<_, str, _>(&EditDistance, &ssample, 4, &mut rng);
     let smapper = Mapper::new(EditDistance, slandmarks);
-    let spoints: Vec<Vec<f64>> = dna
-        .sequences
-        .iter()
-        .map(|s| smapper.map(s.as_str()))
-        .collect();
+    let spoints = smapper.map_all::<str, _>(&dna.sequences);
 
     // --- one query per index ---
     let vq = vectors.queries(1, seed ^ 2).remove(0);
@@ -153,19 +145,19 @@ fn main() {
     let queries = vec![
         QuerySpec {
             index: 0,
-            point: vmapper.map(vq.as_slice()),
+            point: vmapper.map(vq.as_slice()).into_vec(),
             radius: 0.05 * vectors.max_distance(),
             truth: vec![],
         },
         QuerySpec {
             index: 1,
-            point: dmapper.map(&dq),
+            point: dmapper.map(&dq).into_vec(),
             radius: 0.12 * std::f64::consts::FRAC_PI_2,
             truth: vec![],
         },
         QuerySpec {
             index: 2,
-            point: smapper.map(sq.as_str()),
+            point: smapper.map(sq.as_str()).into_vec(),
             radius: 10.0,
             truth: vec![],
         },

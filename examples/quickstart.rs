@@ -55,11 +55,7 @@ fn main() {
         SelectionMethod::KMeans
     );
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = data
-        .objects
-        .iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&data.objects);
     let boundary = boundary_from_metric(&metric, 5).expect("bounded metric");
 
     // 3. Build a 64-node overlay and publish the index.
@@ -101,7 +97,7 @@ fn main() {
     let outcomes = system.run_queries(
         &[QuerySpec {
             index: 0,
-            point: mapper.map(query_obj.as_slice()),
+            point: mapper.map(query_obj.as_slice()).into_vec(),
             radius,
             truth: truth.clone(),
         }],

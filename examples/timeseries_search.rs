@@ -43,11 +43,7 @@ fn main() {
         .collect();
     let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 8, 12, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = ts
-        .windows
-        .iter()
-        .map(|w| mapper.map(w.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&ts.windows);
     let boundary = boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.05);
 
     // Query: a fresh noisy copy of one motif.
@@ -88,7 +84,7 @@ fn main() {
     let outcomes = system.run_queries(
         &[QuerySpec {
             index: 0,
-            point: mapper.map(query.as_slice()),
+            point: mapper.map(query.as_slice()).into_vec(),
             radius,
             truth: targets.iter().map(|&wi| ObjectId(wi as u32)).collect(),
         }],

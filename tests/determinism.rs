@@ -31,17 +31,13 @@ fn run_once(seed: u64) -> Vec<QueryOutcome> {
         .collect();
     let landmarks = greedy::<_, [f32], _>(&metric, &sample, 5, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = data
-        .objects
-        .iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&data.objects);
     let qpoints = data.queries(6, seed ^ 3);
     let queries: Vec<QuerySpec> = qpoints
         .iter()
         .map(|q| QuerySpec {
             index: 0,
-            point: mapper.map(q.as_slice()),
+            point: mapper.map(q.as_slice()).into_vec(),
             radius: 80.0,
             truth: vec![],
         })

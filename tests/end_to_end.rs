@@ -38,11 +38,7 @@ fn vectors_l2_pipeline() {
         .collect();
     let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 4, 10, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = data
-        .objects
-        .iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&data.objects);
 
     let qpoints = data.queries(8, seed ^ 1);
     let ds = Dataset::new(data.objects.clone());
@@ -50,7 +46,7 @@ fn vectors_l2_pipeline() {
         .iter()
         .map(|q| QuerySpec {
             index: 0,
-            point: mapper.map(q.as_slice()),
+            point: mapper.map(q.as_slice()).into_vec(),
             radius: 0.15 * data.max_distance(),
             truth: ds
                 .knn(&L2::new(), q.as_slice(), 10)
@@ -116,7 +112,7 @@ fn strings_edit_pipeline() {
         .collect();
     let landmarks = greedy::<_, str, _>(&EditDistance, &sample, 4, &mut rng);
     let mapper = Mapper::new(EditDistance, landmarks);
-    let points: Vec<Vec<f64>> = seqs.iter().map(|s| mapper.map(s.as_str())).collect();
+    let points = mapper.map_all::<str, _>(&seqs);
     let boundary = boundary_from_sample::<_, str, _>(&mapper, &sample, 0.1);
 
     // Query: the first family's ancestor; radius 9 covers its family
@@ -154,7 +150,7 @@ fn strings_edit_pipeline() {
     let outcomes = system.run_queries(
         &[QuerySpec {
             index: 0,
-            point: mapper.map(query.as_str()),
+            point: mapper.map(query.as_str()).into_vec(),
             radius,
             truth: brute.clone(),
         }],
@@ -199,7 +195,7 @@ fn documents_angular_pipeline() {
         .collect();
     let landmarks = kmeans::<_, SparseVector, _>(&metric, &sample, 5, 8, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = corpus.docs.iter().map(|d| mapper.map(d)).collect();
+    let points = mapper.map_all::<SparseVector, _>(&corpus.docs);
     let boundary = boundary_from_sample::<_, SparseVector, _>(&mapper, &sample, 0.02);
 
     let topic = corpus.topics[1].clone();
@@ -235,7 +231,7 @@ fn documents_angular_pipeline() {
         system.run_queries(
             &[QuerySpec {
                 index: 0,
-                point: mapper.map(&topic),
+                point: mapper.map(&topic).into_vec(),
                 radius,
                 truth: truth_ids.clone(),
             }],
@@ -290,7 +286,7 @@ fn tagsets_jaccard_pipeline() {
         .collect();
     let landmarks = greedy::<_, IdSet, _>(&metric, &sample, 4, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = sets.iter().map(|s| mapper.map(s)).collect();
+    let points = mapper.map_all::<IdSet, _>(&sets);
     // Jaccard is bounded by 1: boundary straight from the metric.
     let boundary = boundary_from_metric(&metric, 4).unwrap();
 
@@ -335,7 +331,7 @@ fn tagsets_jaccard_pipeline() {
     let outcomes = system.run_queries(
         &[QuerySpec {
             index: 0,
-            point: mapper.map(&query),
+            point: mapper.map(&query).into_vec(),
             radius: 0.95, // nearly the whole bounded space: exact top-10
             truth: brute.clone(),
         }],

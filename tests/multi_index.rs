@@ -44,11 +44,7 @@ fn build_world(seed: u64) -> World {
             .collect();
         let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 4, 8, rng);
         let mapper = Mapper::new(metric, landmarks);
-        let points: Vec<Vec<f64>> = data
-            .objects
-            .iter()
-            .map(|o| mapper.map(o.as_slice()))
-            .collect();
+        let points = mapper.map_all::<[f32], _>(&data.objects);
         (
             IndexSpec {
                 name: name.into(),
@@ -78,13 +74,13 @@ fn build_world(seed: u64) -> World {
     };
     let query_a = QuerySpec {
         index: 0,
-        point: mapper_a.map(qa.as_slice()),
+        point: mapper_a.map(qa.as_slice()).into_vec(),
         radius,
         truth: truth(&data_a, &qa),
     };
     let query_b = QuerySpec {
         index: 1,
-        point: mapper_b.map(qb.as_slice()),
+        point: mapper_b.map(qb.as_slice()).into_vec(),
         radius,
         truth: truth(&data_b, &qb),
     };

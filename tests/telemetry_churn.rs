@@ -42,11 +42,7 @@ fn run_scenario() -> (Vec<QueryOutcome>, String) {
         .collect();
     let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 5, 10, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = data
-        .objects
-        .iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&data.objects);
 
     let qpoints = data.queries(N_QUERIES, SEED ^ 7);
     let radius = 0.05 * data.max_distance();
@@ -57,7 +53,7 @@ fn run_scenario() -> (Vec<QueryOutcome>, String) {
         .iter()
         .map(|q| QuerySpec {
             index: 0,
-            point: mapper.map(q.as_slice()),
+            point: mapper.map(q.as_slice()).into_vec(),
             radius,
             truth: data
                 .objects

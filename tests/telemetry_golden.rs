@@ -35,18 +35,14 @@ fn run_scenario() -> String {
         .collect();
     let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 5, 10, &mut rng);
     let mapper = Mapper::new(metric, landmarks);
-    let points: Vec<Vec<f64>> = data
-        .objects
-        .iter()
-        .map(|o| mapper.map(o.as_slice()))
-        .collect();
+    let points = mapper.map_all::<[f32], _>(&data.objects);
 
     let qpoints = data.queries(8, SEED ^ 7);
     let queries: Vec<QuerySpec> = qpoints
         .iter()
         .map(|q| QuerySpec {
             index: 0,
-            point: mapper.map(q.as_slice()),
+            point: mapper.map(q.as_slice()).into_vec(),
             radius: 0.05 * data.max_distance(),
             truth: vec![],
         })

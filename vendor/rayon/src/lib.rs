@@ -1,54 +1,194 @@
-//! Offline stand-in for the `rayon` crate: `par_iter()` returns the plain
-//! sequential iterator, so all the standard adapters (`map`, `filter`,
-//! `enumerate`, `collect`, …) keep working unchanged — data-parallel call
-//! sites degrade to sequential execution instead of pulling a registry
-//! dependency this build environment cannot reach.
+//! Thread-parallel stand-in for the `rayon` crate.
+//!
+//! Implements the narrow slice of the rayon API this workspace uses —
+//! `par_iter().map(..).collect()` and `par_iter_mut().for_each(..)` —
+//! on scoped OS threads instead of pulling a registry dependency this
+//! build environment cannot reach.
+//!
+//! Determinism: work is split into *contiguous index chunks*, one per
+//! worker, and chunk results are concatenated in chunk order. Thread
+//! scheduling therefore never affects output order or content — the
+//! result is element-for-element identical to the sequential
+//! `iter().map(..).collect()`, which small inputs fall back to.
+
+use std::num::NonZeroUsize;
+
+/// Worker budget: one thread per core, minus nothing — the callers are
+/// offline build/ground-truth passes that own the machine while they run.
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Below this many items per would-be chunk, thread spawn overhead beats
+/// the parallelism; such inputs run sequentially on the calling thread.
+const MIN_CHUNK: usize = 16;
+
+/// Map `f` over `items` with contiguous chunks fanned out over scoped
+/// threads, concatenating chunk results in order.
+fn map_ordered<'data, T, R>(items: &'data [T], f: &(impl Fn(&'data T) -> R + Sync)) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = max_threads();
+    if threads == 1 || items.len() < 2 * MIN_CHUNK {
+        return items.iter().map(f).collect();
+    }
+    let nchunks = threads.min(items.len().div_ceil(MIN_CHUNK));
+    let chunk = items.len().div_ceil(nchunks);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.append(&mut h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+/// A borrowed slice viewed as a parallel iterator.
+pub struct ParSlice<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParSlice<'data, T> {
+    /// Mirror of `ParallelIterator::map`. Lazy: nothing runs until
+    /// [`ParMap::collect`].
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Mirror of `ParallelIterator::for_each`.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data T) + Sync,
+    {
+        let _: Vec<()> = map_ordered(self.items, &|x| f(x));
+    }
+}
+
+/// The (lazy) result of [`ParSlice::map`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, F> ParMap<'data, T, F>
+where
+    T: Sync,
+{
+    /// Mirror of `ParallelIterator::collect` into anything buildable
+    /// from an ordered `Vec` (in practice: `Vec<R>` itself).
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(map_ordered(self.items, &self.f))
+    }
+}
+
+/// A mutably borrowed slice viewed as a parallel iterator.
+pub struct ParSliceMut<'data, T> {
+    items: &'data mut [T],
+}
+
+impl<'data, T: Send> ParSliceMut<'data, T> {
+    /// Mirror of `ParallelIterator::for_each` over `&mut` items,
+    /// chunked like the shared-slice path.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let threads = max_threads();
+        if threads == 1 || self.items.len() < 2 * MIN_CHUNK {
+            for x in self.items.iter_mut() {
+                f(x);
+            }
+            return;
+        }
+        let nchunks = threads.min(self.items.len().div_ceil(MIN_CHUNK));
+        let chunk = self.items.len().div_ceil(nchunks);
+        let f = &f;
+        std::thread::scope(|s| {
+            for c in self.items.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for x in c {
+                        f(x);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'data;
+    /// Borrow `self` as a parallel iterator.
+    fn par_iter(&'data self) -> ParSlice<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type yielded by mutable reference.
+    type Item: Send + 'data;
+    /// Mutably borrow `self` as a parallel iterator.
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut { items: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut { items: self }
+    }
+}
 
 pub mod prelude {
-    /// Mirror of `rayon::iter::IntoParallelRefIterator`, sequentially.
-    pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    /// Mirror of `rayon::iter::IntoParallelRefMutIterator`, sequentially.
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Iter: Iterator;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
-        }
-    }
-
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
-        }
-    }
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -62,5 +202,52 @@ mod tests {
         let mut v = vec![1, 2, 3];
         v.par_iter_mut().for_each(|x| *x += 10);
         assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn large_map_is_ordered_and_complete() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let squared: Vec<u64> = v.par_iter().map(|x| x * x).collect();
+        let expected: Vec<u64> = v.iter().map(|x| x * x).collect();
+        assert_eq!(squared, expected);
+    }
+
+    #[test]
+    fn large_for_each_mut_touches_every_item_once() {
+        let mut v = vec![0u32; 10_000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let v: Vec<usize> = (0..5_000).collect();
+        let count = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        v.par_iter().for_each(|&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 5_000);
+        assert_eq!(sum.into_inner(), 5_000 * 4_999 / 2);
+    }
+
+    #[test]
+    fn big_inputs_fan_out_when_cores_allow() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let ids: Vec<ThreadId> = v.par_iter().map(|_| std::thread::current().id()).collect();
+        let distinct: HashSet<_> = ids.iter().collect();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            assert!(distinct.len() > 1, "expected multi-threaded execution");
+        }
+    }
+
+    #[test]
+    fn collect_ref_results_borrowing_from_input() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let refs: Vec<&str> = v.par_iter().map(|s| s.as_str()).collect();
+        assert_eq!(refs.len(), 100);
+        assert_eq!(refs[42], "42");
     }
 }
