@@ -21,7 +21,9 @@ use landmark::{boundary_from_sample, kmeans, Mapper};
 use metric::{Dataset, Metric, ObjectId, L2};
 use serde_json::{ToJson, Value};
 use simnet::SimRng;
-use simsearch::{IndexSpec, QueryDistance, QueryId, QuerySpec, SearchSystem, SystemConfig};
+use simsearch::{
+    IndexSpec, QueryDistance, QueryId, QuerySpec, RoutingOptConfig, SearchSystem, SystemConfig,
+};
 use workloads::{ground_truth, ClusteredParams, ClusteredVectors};
 
 const SEED: u64 = 0x64_B3;
@@ -174,6 +176,165 @@ pub fn run_micro_scenario(quick: bool) -> MicroCounters {
     }
 }
 
+/// One side of the cache A/B comparison: aggregate network cost of the
+/// hot query batch with the routing-plane optimization layer off or on.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheSide {
+    /// Wire messages delivered over the whole run.
+    pub messages: u64,
+    /// Wire bytes delivered over the whole run.
+    pub bytes: u64,
+    /// Mean routing hops per query.
+    pub hops_per_query: f64,
+    /// Mean recall against the brute-force range oracle.
+    pub mean_recall: f64,
+    /// Result-cache hits (zero on the base side by construction).
+    pub cache_hits: u64,
+    /// Coalesced sub-query batches (zero on the base side).
+    pub coalesced: u64,
+}
+
+/// The cache A/B scenario's counters: the same deterministic hot
+/// workload (four query points re-issued round-robin from four fixed
+/// origins) run twice, `routing_opt` off vs. on. All counters are
+/// deterministic, so the bench-smoke gate can hold the optimized side
+/// to hard floors and ceilings.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheCounters {
+    /// Queries answered per side.
+    pub queries: usize,
+    /// The `routing_opt: None` run.
+    pub base: CacheSide,
+    /// The `routing_opt: Some(default)` run.
+    pub opt: CacheSide,
+}
+
+impl CacheCounters {
+    /// Total-message reduction factor of the optimization layer.
+    pub fn message_reduction(&self) -> f64 {
+        self.base.messages as f64 / self.opt.messages.max(1) as f64
+    }
+}
+
+impl ToJson for CacheCounters {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "queries": self.queries as u64,
+            "messages_base": self.base.messages,
+            "messages_opt": self.opt.messages,
+            "message_reduction": self.message_reduction(),
+            "bytes_base": self.base.bytes,
+            "bytes_opt": self.opt.bytes,
+            "hops_per_query_base": self.base.hops_per_query,
+            "hops_per_query_opt": self.opt.hops_per_query,
+            "cache_hits": self.opt.cache_hits,
+            "batch_coalesced": self.opt.coalesced,
+            "mean_recall_base": self.base.mean_recall,
+            "mean_recall_opt": self.opt.mean_recall,
+        })
+    }
+}
+
+/// Run the hot-workload cache A/B scenario and collect its counters.
+///
+/// `quick` shrinks the dataset and the number of repeat rounds (the CI
+/// smoke size); the full size is what `BENCH_micro.json` records.
+pub fn run_cache_scenario(quick: bool) -> CacheCounters {
+    const N_BASE: usize = 4;
+    const ORIGINS: [usize; N_BASE] = [5, 17, 29, 41];
+    let (n_objects, rounds) = if quick { (1_000, 4) } else { (2_000, 6) };
+
+    let data = ClusteredVectors::generate(
+        ClusteredParams {
+            dims: 12,
+            clusters: 5,
+            deviation: 9.0,
+            n_objects,
+            ..ClusteredParams::default()
+        },
+        SEED,
+    );
+    let metric = L2::bounded(12, 0.0, 100.0);
+    let mut rng = SimRng::new(SEED);
+    let sample: Vec<Vec<f32>> = rng
+        .sample_indices(data.objects.len(), 250)
+        .into_iter()
+        .map(|i| data.objects[i].clone())
+        .collect();
+    let landmarks = kmeans::<_, [f32], _>(&metric, &sample, K_LANDMARKS, 10, &mut rng);
+    let mapper = Mapper::new(metric, landmarks);
+    let points = mapper.map_all::<[f32], _>(&data.objects);
+
+    let base_q = data.queries(N_BASE, SEED ^ 0x7C);
+    let radius = 0.05 * data.max_distance();
+    let qpoints: Vec<Vec<f32>> = (0..N_BASE * rounds)
+        .map(|i| base_q[i % N_BASE].clone())
+        .collect();
+    let queries: Vec<QuerySpec> = qpoints
+        .iter()
+        .map(|q| QuerySpec {
+            index: 0,
+            point: mapper.map(q.as_slice()).into_vec(),
+            radius,
+            truth: data
+                .objects
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| L2::new().distance(q.as_slice(), o.as_slice()) <= radius)
+                .map(|(i, _)| ObjectId(i as u32))
+                .collect(),
+        })
+        .collect();
+
+    let objects = Arc::new(data.objects.clone());
+    let qp = Arc::new(qpoints);
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        L2::new().distance(
+            qp[qid as usize].as_slice(),
+            objects[obj.0 as usize].as_slice(),
+        )
+    });
+    let boundary = boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.05).dims;
+
+    let run = |opt: Option<RoutingOptConfig>| -> CacheSide {
+        let mut system = SearchSystem::build(
+            SystemConfig {
+                n_nodes: N_NODES,
+                seed: SEED,
+                // Per-node answers must not truncate away range results.
+                knn_k: 200,
+                routing_opt: opt,
+                ..SystemConfig::default()
+            },
+            &[IndexSpec {
+                name: "cache".into(),
+                boundary: boundary.clone(),
+                points: points.clone(),
+                rotate: true,
+            }],
+            oracle.clone(),
+        );
+        let outcomes = system.run_queries_from(&queries, &ORIGINS, 5.0);
+        let n = outcomes.len().max(1) as f64;
+        let net = system.net_stats();
+        let tel = system.telemetry().lock();
+        CacheSide {
+            messages: net.messages,
+            bytes: net.bytes,
+            hops_per_query: outcomes.iter().map(|o| o.hops as f64).sum::<f64>() / n,
+            mean_recall: outcomes.iter().map(|o| o.recall).sum::<f64>() / n,
+            cache_hits: tel.registry.counter("cache.hits"),
+            coalesced: tel.registry.counter("batch.coalesced"),
+        }
+    };
+
+    CacheCounters {
+        queries: N_BASE * rounds,
+        base: run(None),
+        opt: run(Some(RoutingOptConfig::default())),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +348,20 @@ mod tests {
             (b.scanned, b.skipped, b.dist_calls, b.pruned)
         );
         assert_eq!(a.mean_recall, b.mean_recall);
+    }
+
+    #[test]
+    fn quick_cache_scenario_beats_baseline_at_full_recall() {
+        let c = run_cache_scenario(true);
+        assert_eq!(c.base.mean_recall, 1.0);
+        assert_eq!(c.opt.mean_recall, 1.0);
+        assert!(
+            c.opt.messages < c.base.messages,
+            "opt {} vs base {} messages",
+            c.opt.messages,
+            c.base.messages
+        );
+        assert!(c.opt.hops_per_query < c.base.hops_per_query);
+        assert!(c.opt.cache_hits > 0);
     }
 }

@@ -85,6 +85,8 @@ pub struct SynthRun {
     pub load_aware_join: bool,
     /// Retry/failover + replicated publication (churn scenarios).
     pub resilience: Option<simsearch::ResilienceConfig>,
+    /// Routing-plane caching & sub-query batching (hot-workload runs).
+    pub routing_opt: Option<simsearch::RoutingOptConfig>,
     /// Uniform message-drop probability applied to the query phase.
     pub loss: f64,
     /// Crash/restart pairs injected across the query phase.
@@ -109,6 +111,7 @@ impl SynthRun {
             overlay: OverlayKind::Chord,
             load_aware_join: false,
             resilience: None,
+            routing_opt: None,
             loss: 0.0,
             churn: 0,
         }
@@ -250,6 +253,7 @@ pub fn run_synth_system(
         overlay: run.overlay,
         load_aware_join: run.load_aware_join,
         resilience: run.resilience.clone(),
+        routing_opt: run.routing_opt.clone(),
         ..SystemConfig::default()
     };
     let mut system = SearchSystem::build(cfg, &[spec], oracle);

@@ -9,7 +9,7 @@
 //! 2. **From the selection sample** — the minimum and maximum distance
 //!    between the landmark set and the initially sampled objects bound
 //!    each dimension; later objects falling outside are clamped onto the
-//!    boundary by the hash (see [`lph`]'s `Grid::hash`).
+//!    boundary by the hash (see `lph`'s `Grid::hash`).
 
 use std::borrow::Borrow;
 

@@ -1,0 +1,482 @@
+//! The opt-in routing-plane optimization layer: per-node shortcut and
+//! hot-range result caches plus the knobs for sub-query batching.
+//!
+//! The paper routes every query fragment through the overlay from
+//! scratch (§3.3) and resolves popular regions anew on every query.
+//! DIMS-style caching at the routing tier and NearBucket-LSH's locality
+//! observation both say the same thing: repeated similarity lookups in a
+//! P2P index concentrate on hot regions, so remembering *who answered*
+//! (shortcuts) and *what they answered* (results) removes most of the
+//! per-query overlay work. Everything here is:
+//!
+//! * **opt-in** — a system built without [`RoutingOptConfig`] sends
+//!   byte-identical messages to the pre-cache implementation;
+//! * **deterministic** — caches are `BTreeMap`s with FIFO eviction
+//!   driven only by simulated message order, never by wall-clock or hash
+//!   seeds, so golden telemetry snapshots stay byte-identical per seed;
+//! * **safe under staleness** — a shortcut that points at a node that no
+//!   longer owns (or no longer *is*) degrades to one extra overlay hop:
+//!   the receiver simply keeps routing with its own table. A result
+//!   cache hit is served only when the cached region *provably contains*
+//!   the query region and the cached candidate set was complete
+//!   (coverage-checked against the answerers' owned ring arcs), so a hit
+//!   equals the uncached answer exactly.
+//!
+//! Ring intervals here are **inclusive** `(lo, hi)` pairs in ring-key
+//! space, with the same wrap convention as [`crate::store`]: `lo > hi`
+//! denotes the wrapped union `[0, hi] ∪ [lo, u64::MAX]`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use chord::NodeRef;
+use lph::Rect;
+use metric::ObjectId;
+
+/// Tunables of the routing-plane optimization layer. Attach via
+/// [`crate::SystemConfig::routing_opt`]; the individual switches exist so
+/// experiments can attribute wins to one mechanism at a time.
+#[derive(Clone, Debug)]
+pub struct RoutingOptConfig {
+    /// Coalesce co-destined refine hand-offs into one batched wire
+    /// message and result messages per origin likewise.
+    pub batching: bool,
+    /// Learn `key range -> owner` shortcuts from observed answers and
+    /// consult them before the finger table.
+    pub shortcuts: bool,
+    /// Cache complete answers of hot ranges at the querying node.
+    pub result_cache: bool,
+    /// Maximum learned shortcut intervals per node (FIFO eviction).
+    pub shortcut_capacity: usize,
+    /// Maximum cached result regions per node (FIFO eviction).
+    pub result_capacity: usize,
+    /// A region whose full candidate set exceeds this is not cached
+    /// (bounds both memory and the result-message payload).
+    pub max_cached_entries: usize,
+}
+
+impl Default for RoutingOptConfig {
+    fn default() -> Self {
+        RoutingOptConfig {
+            batching: true,
+            shortcuts: true,
+            result_cache: true,
+            shortcut_capacity: 128,
+            result_capacity: 32,
+            max_cached_entries: 512,
+        }
+    }
+}
+
+impl RoutingOptConfig {
+    /// Sanity-check the knobs; called when a node adopts the config.
+    pub fn validate(&self) {
+        assert!(
+            self.shortcut_capacity >= 1,
+            "shortcut capacity must be >= 1"
+        );
+        assert!(self.result_capacity >= 1, "result capacity must be >= 1");
+        assert!(
+            self.max_cached_entries >= 1,
+            "cached-entry bound must be >= 1"
+        );
+    }
+}
+
+/// Split a possibly wrapping inclusive ring interval into its
+/// non-wrapping parts (`lo > hi` ⇒ `[0, hi]` and `[lo, MAX]`).
+pub fn split_wrap((lo, hi): (u64, u64)) -> Vec<(u64, u64)> {
+    if lo <= hi {
+        vec![(lo, hi)]
+    } else {
+        vec![(0, hi), (lo, u64::MAX)]
+    }
+}
+
+/// Intersection of two possibly wrapping inclusive ring intervals, as
+/// non-wrapping parts (possibly empty).
+pub fn intersect_wrap(a: (u64, u64), b: (u64, u64)) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for &(alo, ahi) in &split_wrap(a) {
+        for &(blo, bhi) in &split_wrap(b) {
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+        }
+    }
+    out
+}
+
+/// Does the union of the non-wrapping inclusive intervals in `have`
+/// cover every interval in `needed`? Adjacent intervals merge (`[0,3]`
+/// and `[4,9]` jointly cover `[2,7]`).
+pub fn covers(needed: &[(u64, u64)], have: &[(u64, u64)]) -> bool {
+    let mut sorted = have.to_vec();
+    sorted.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+    for (lo, hi) in sorted {
+        match merged.last_mut() {
+            Some((_, e)) if lo <= e.saturating_add(1) => *e = (*e).max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    needed
+        .iter()
+        .all(|&(lo, hi)| merged.iter().any(|&(s, e)| s <= lo && hi <= e))
+}
+
+/// A per-node cache of learned `key interval -> owner` shortcuts.
+///
+/// Populated from observed result messages (each answer names the
+/// answerer's ring id and the arc it is authoritative for); consulted by
+/// [`crate::routing::WithShortcuts`] before the finger table. Intervals
+/// are kept disjoint — learning an overlapping interval replaces the
+/// stale overlap — and evicted FIFO past the capacity. Stale entries are
+/// harmless by construction (the target re-routes with its own table)
+/// and are dropped eagerly when their owner becomes suspected dead.
+#[derive(Clone, Debug, Default)]
+pub struct ShortcutCache {
+    /// `start -> (inclusive end, owner)`, non-wrapping and disjoint.
+    map: BTreeMap<u64, (u64, NodeRef)>,
+    /// Insertion order of interval starts, for FIFO eviction. May hold
+    /// stale starts (replaced by overlap); eviction skips those.
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl ShortcutCache {
+    /// An empty cache holding at most `cap` intervals.
+    pub fn new(cap: usize) -> ShortcutCache {
+        ShortcutCache {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Learned intervals currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been learned (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Learn that `owner` is authoritative for the (possibly wrapping)
+    /// inclusive interval. Overlapping previously learned intervals are
+    /// replaced. Returns the number of FIFO evictions performed.
+    pub fn learn(&mut self, interval: (u64, u64), owner: NodeRef) -> u64 {
+        let mut evicted = 0u64;
+        for (lo, hi) in split_wrap(interval) {
+            // Drop every stored interval overlapping [lo, hi]: they are
+            // disjoint and sorted, so walk back from the last interval
+            // starting at or before hi while it still reaches lo.
+            let mut stale = Vec::new();
+            for (&s, &(e, _)) in self.map.range(..=hi).rev() {
+                if e < lo {
+                    break;
+                }
+                stale.push(s);
+            }
+            for s in stale {
+                self.map.remove(&s);
+            }
+            self.map.insert(lo, (hi, owner));
+            self.order.push_back(lo);
+            while self.map.len() > self.cap {
+                match self.order.pop_front() {
+                    Some(s) => {
+                        if self.map.remove(&s).is_some() {
+                            evicted += 1;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        evicted
+    }
+
+    /// The learned owner of `key`, if a learned interval contains it.
+    pub fn lookup(&self, key: u64) -> Option<NodeRef> {
+        self.map
+            .range(..=key)
+            .next_back()
+            .and_then(|(_, &(end, owner))| (end >= key).then_some(owner))
+    }
+
+    /// Drop every interval learned for ring id `id` (the node is
+    /// suspected dead or its ownership moved). Returns how many were
+    /// dropped.
+    pub fn invalidate_owner(&mut self, id: u64) -> u64 {
+        let before = self.map.len();
+        self.map.retain(|_, (_, owner)| owner.id.0 != id);
+        (before - self.map.len()) as u64
+    }
+
+    /// Drop everything (ring identifiers were reassigned wholesale).
+    pub fn clear(&mut self) -> u64 {
+        let n = self.map.len() as u64;
+        self.map.clear();
+        self.order.clear();
+        n
+    }
+}
+
+/// The radius bucket of a result-cache key: `floor(log2 r)`, clamped.
+/// Degenerate radii (zero, negative, NaN, infinite) share a sentinel
+/// bucket so they can never alias a real one.
+pub fn radius_bucket(radius: f64) -> i16 {
+    if radius.is_finite() && radius > 0.0 {
+        radius.log2().floor().clamp(-4096.0, 4096.0) as i16
+    } else {
+        i16::MIN
+    }
+}
+
+/// Key of one cached result region.
+pub type ResultKey = (u8, u64, u32, i16);
+
+/// A complete cached answer region: the exact query rect it was
+/// assembled for and *every* entry whose stored point falls inside it
+/// (pre-pruning, pre-top-k — a contained query re-ranks for its own
+/// center, so nothing may be dropped at cache time).
+#[derive(Clone, Debug)]
+pub struct CachedRegion {
+    /// The region the candidate set is complete for.
+    pub rect: Rect,
+    /// `(object, stored index-space point)` of every matching entry.
+    pub entries: Vec<(ObjectId, Box<[f64]>)>,
+}
+
+/// A per-node cache of complete answers for hot ranges, keyed by
+/// `(index, prefix_key, prefix_length, radius bucket)` with exact
+/// containment checks on lookup and FIFO eviction.
+#[derive(Clone, Debug, Default)]
+pub struct ResultCache {
+    map: BTreeMap<ResultKey, CachedRegion>,
+    order: VecDeque<ResultKey>,
+    cap: usize,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `cap` regions.
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Cached regions currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Store a complete region under its key. Returns FIFO evictions.
+    pub fn insert(&mut self, key: ResultKey, region: CachedRegion) -> u64 {
+        let mut evicted = 0u64;
+        self.map.insert(key, region);
+        self.order.push_back(key);
+        while self.map.len() > self.cap {
+            match self.order.pop_front() {
+                Some(k) => {
+                    if self.map.remove(&k).is_some() {
+                        evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// A cached region that *provably contains* `rect`: same index, same
+    /// radius bucket, keyed by `prefix` or any of its ancestors (a
+    /// containing query's enclosing prefix is always on the ancestor
+    /// chain), and passing the exact `contains_rect` check.
+    pub fn lookup(
+        &self,
+        index: u8,
+        prefix: lph::Prefix,
+        bucket: i16,
+        rect: &Rect,
+    ) -> Option<&CachedRegion> {
+        for len in (0..=prefix.len()).rev() {
+            let p = lph::Prefix::of_key(prefix.key(), len);
+            if let Some(region) = self.map.get(&(index, p.key(), len, bucket)) {
+                if region.rect.contains_rect(rect) {
+                    return Some(region);
+                }
+            }
+        }
+        None
+    }
+
+    /// Drop every cached region of `index` whose rect contains `point`
+    /// (a publication landed inside it, so the cached candidate set is
+    /// no longer complete). Returns how many regions were dropped.
+    pub fn invalidate_containing(&mut self, index: u8, point: &[f64]) -> u64 {
+        let before = self.map.len();
+        self.map
+            .retain(|k, region| k.0 != index || !region.rect.contains_point(point));
+        (before - self.map.len()) as u64
+    }
+
+    /// Drop every cached region of `index` (migration or rebalance moved
+    /// entries wholesale). `None` clears all indexes.
+    pub fn clear_index(&mut self, index: Option<u8>) -> u64 {
+        let before = self.map.len();
+        match index {
+            Some(ix) => self.map.retain(|k, _| k.0 != ix),
+            None => self.map.clear(),
+        }
+        (before - self.map.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nr(id: u64, addr: usize) -> NodeRef {
+        NodeRef::new(id, addr)
+    }
+
+    #[test]
+    fn wrap_splitting_and_intersection() {
+        assert_eq!(split_wrap((3, 9)), vec![(3, 9)]);
+        assert_eq!(split_wrap((9, 3)), vec![(0, 3), (9, u64::MAX)]);
+        assert_eq!(intersect_wrap((0, 10), (5, 20)), vec![(5, 10)]);
+        assert_eq!(intersect_wrap((5, 20), (25, 30)), vec![]);
+        // Wrapped arc ∩ plain interval hits both sides.
+        assert_eq!(
+            intersect_wrap((u64::MAX - 1, 1), (0, u64::MAX)),
+            vec![(0, 1), (u64::MAX - 1, u64::MAX)]
+        );
+    }
+
+    #[test]
+    fn coverage_merges_adjacent_intervals() {
+        assert!(covers(&[(2, 7)], &[(0, 3), (4, 9)]));
+        assert!(covers(&[(0, 0)], &[(0, 10)]));
+        assert!(!covers(&[(2, 7)], &[(0, 3), (5, 9)]), "gap at 4");
+        assert!(covers(&[], &[]));
+        assert!(!covers(&[(1, 1)], &[]));
+        // Saturation at the top of the ring.
+        assert!(covers(
+            &[(u64::MAX - 5, u64::MAX)],
+            &[(u64::MAX - 9, u64::MAX)]
+        ));
+    }
+
+    #[test]
+    fn shortcut_learn_lookup_and_overlap_replacement() {
+        let mut c = ShortcutCache::new(8);
+        assert!(c.is_empty());
+        c.learn((10, 20), nr(100, 1));
+        c.learn((30, 40), nr(200, 2));
+        assert_eq!(c.lookup(15).unwrap().addr.0, 1);
+        assert_eq!(c.lookup(40).unwrap().addr.0, 2);
+        assert!(c.lookup(25).is_none());
+        assert!(c.lookup(9).is_none());
+        // Overlapping learn replaces the stale interval.
+        c.learn((15, 35), nr(300, 3));
+        assert_eq!(c.lookup(18).unwrap().addr.0, 3);
+        assert_eq!(c.lookup(33).unwrap().addr.0, 3);
+        assert!(c.lookup(12).is_none(), "replaced interval is gone whole");
+    }
+
+    #[test]
+    fn shortcut_wrapping_interval_spans_the_seam() {
+        let mut c = ShortcutCache::new(8);
+        c.learn((u64::MAX - 10, 5), nr(7, 4));
+        assert_eq!(c.lookup(0).unwrap().addr.0, 4);
+        assert_eq!(c.lookup(u64::MAX).unwrap().addr.0, 4);
+        assert!(c.lookup(6).is_none());
+        assert_eq!(c.len(), 2, "wrap stores two non-wrapping parts");
+    }
+
+    #[test]
+    fn shortcut_fifo_eviction_and_owner_invalidation() {
+        let mut c = ShortcutCache::new(2);
+        assert_eq!(c.learn((0, 9), nr(1, 1)), 0);
+        assert_eq!(c.learn((20, 29), nr(2, 2)), 0);
+        assert_eq!(c.learn((40, 49), nr(3, 3)), 1, "oldest evicted");
+        assert!(c.lookup(5).is_none());
+        assert!(c.lookup(45).is_some());
+        c.learn((60, 69), nr(3, 3));
+        assert_eq!(c.invalidate_owner(3), 2);
+        assert!(c.is_empty());
+        assert_eq!(c.clear(), 0);
+    }
+
+    #[test]
+    fn radius_buckets_separate_scales() {
+        assert_eq!(radius_bucket(1.0), 0);
+        assert_eq!(radius_bucket(1.5), 0);
+        assert_eq!(radius_bucket(2.0), 1);
+        assert_eq!(radius_bucket(0.5), -1);
+        assert_ne!(radius_bucket(4.0), radius_bucket(2.0));
+        assert_eq!(radius_bucket(0.0), i16::MIN);
+        assert_eq!(radius_bucket(-3.0), i16::MIN);
+        assert_eq!(radius_bucket(f64::NAN), i16::MIN);
+        assert_eq!(radius_bucket(f64::INFINITY), i16::MIN);
+    }
+
+    #[test]
+    fn result_cache_ancestor_walk_and_containment() {
+        let mut c = ResultCache::new(4);
+        let big = Rect::new(vec![0.0, 0.0], vec![4.0, 4.0]);
+        let key_prefix = lph::Prefix::of_key(0b1010 << 60, 2);
+        c.insert(
+            (0, key_prefix.key(), 2, 3),
+            CachedRegion {
+                rect: big.clone(),
+                entries: vec![(ObjectId(1), vec![1.0, 1.0].into_boxed_slice())],
+            },
+        );
+        // A deeper prefix on the same chain with a contained rect hits.
+        let deep = lph::Prefix::of_key(0b10101 << 59, 5);
+        let small = Rect::new(vec![1.0, 1.0], vec![2.0, 2.0]);
+        assert!(c.lookup(0, deep, 3, &small).is_some());
+        // Wrong bucket, wrong index, or an uncontained rect all miss.
+        assert!(c.lookup(0, deep, 4, &small).is_none());
+        assert!(c.lookup(1, deep, 3, &small).is_none());
+        let wide = Rect::new(vec![1.0, 1.0], vec![5.0, 2.0]);
+        assert!(c.lookup(0, deep, 3, &wide).is_none());
+        // Off-chain prefix (different top bits) misses.
+        let off = lph::Prefix::of_key(0b0101 << 60, 4);
+        assert!(c.lookup(0, off, 3, &small).is_none());
+    }
+
+    #[test]
+    fn result_cache_eviction_and_invalidation() {
+        let mut c = ResultCache::new(2);
+        let r = |lo: f64, hi: f64| Rect::new(vec![lo], vec![hi]);
+        let reg = |lo: f64, hi: f64| CachedRegion {
+            rect: r(lo, hi),
+            entries: Vec::new(),
+        };
+        assert_eq!(c.insert((0, 0, 1, 0), reg(0.0, 1.0)), 0);
+        assert_eq!(c.insert((0, 1, 1, 0), reg(2.0, 3.0)), 0);
+        assert_eq!(c.insert((0, 2, 1, 0), reg(4.0, 5.0)), 1);
+        assert_eq!(c.len(), 2);
+        // Publication inside a cached rect drops exactly that region.
+        assert_eq!(c.invalidate_containing(0, &[2.5]), 1);
+        assert_eq!(c.invalidate_containing(0, &[9.9]), 0);
+        assert_eq!(c.clear_index(Some(0)), 1);
+        assert!(c.is_empty());
+        c.insert((3, 0, 1, 0), reg(0.0, 1.0));
+        assert_eq!(c.clear_index(None), 1);
+    }
+}

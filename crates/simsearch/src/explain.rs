@@ -110,6 +110,7 @@ impl SearchSystem {
             hops: 0,
             origin: AgentId(origin),
             ball: None,
+            shortcut: false,
         };
 
         let mut report = ExplainReport::default();

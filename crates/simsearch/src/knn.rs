@@ -103,6 +103,7 @@ impl SearchSystem {
                         center: std::sync::Arc::clone(&center),
                         radius,
                     }),
+                    shortcut: false,
                 }),
             );
             self.sim.run();

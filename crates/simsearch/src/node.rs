@@ -2,21 +2,26 @@
 //! messages, answers queries from its local store, and keeps the
 //! per-query cost accounting the experiments report.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
-use lph::{Grid, Rotation};
+use lph::{Grid, Rect, Rotation};
 use metric::ObjectId;
 use simnet::{Agent, AgentId, Ctx, SimDuration, SimTime, TimerTag};
 
+use crate::cache::{
+    covers, intersect_wrap, radius_bucket, split_wrap, CachedRegion, ResultCache, ResultKey,
+    RoutingOptConfig, ShortcutCache,
+};
 use crate::msg::{
-    ack_msg_bytes, msg_bytes, tracked_overhead_bytes, DistanceOracle, QueryId, SearchMsg,
-    SubQueryMsg,
+    ack_msg_bytes, msg_bytes, result_item_bytes, tracked_overhead_bytes, DistanceOracle, QueryId,
+    ResultItem, SearchMsg, SubQueryMsg,
 };
 use crate::overlay::{FailureAware, Overlay, OverlayTable};
-use crate::resilience::ResilienceConfig;
+use crate::resilience::{ResilienceConfig, SuspicionSet};
 use crate::routing::{
     route_subquery, route_subquery_traced, surrogate_refine, surrogate_refine_traced, Action,
+    WithShortcuts,
 };
 use crate::store::{Entry, Store};
 use crate::telemetry::{Telemetry, TraceEvent};
@@ -51,6 +56,49 @@ pub struct IssuedQuery {
     /// of the queried key range was lost with a dead node no replicas
     /// exist for, so the merged result may be incomplete.
     pub degraded: bool,
+}
+
+/// Origin-side accumulator for one in-flight query the node may cache
+/// once it completes: candidates and coverage claims arriving in
+/// [`ResultItem`]s are folded in until the answerers' owned arcs jointly
+/// cover the query's full key span (then the region is cached) or the
+/// answer turns out non-cacheable (then the fill is poisoned and
+/// dropped).
+struct CacheFill {
+    /// Where the completed region will be stored.
+    key: ResultKey,
+    /// The exact query rect the candidate set is complete for.
+    rect: Rect,
+    /// Non-wrapping parts of the query's rotated ring-key span.
+    needed: Vec<(u64, u64)>,
+    /// Owned-arc intervals claimed by answerers so far.
+    covered: Vec<(u64, u64)>,
+    /// Candidate union so far, deduplicated by object.
+    cands: Vec<(ObjectId, Box<[f64]>)>,
+}
+
+/// What one local answering pass produced, shared between the classic
+/// [`SearchNode::answer`] reply and the optimization layer's
+/// [`SearchNode::answer_item`].
+struct AnswerCore {
+    /// The node's `k` best candidates by true distance, sorted.
+    ranked: Vec<(ObjectId, f64)>,
+    /// True when part of the queried range is known lost.
+    degraded: bool,
+    /// Store entries walked.
+    scanned: u64,
+    /// Entries whose rect matched a fragment.
+    matched: u64,
+    /// Entries skipped by span binary search bookkeeping.
+    skipped: u64,
+    /// Candidates dropped by radius or lower-bound pruning.
+    pruned: u64,
+    /// True-distance evaluations performed.
+    dist_calls: u64,
+    /// Candidates contributed from replicas of suspected owners.
+    replica_answers: u64,
+    /// Every rect-matched point, pre-pruning (only when requested).
+    cache_pts: Option<Vec<(ObjectId, Box<[f64]>)>>,
 }
 
 /// An unacknowledged cross-host message awaiting its retransmit timer.
@@ -105,7 +153,19 @@ pub struct SearchNode {
     pub resilience: Option<ResilienceConfig>,
     /// Ring ids this node currently believes dead (local suspicion +
     /// gossip merged from tracking envelopes).
-    pub suspected: BTreeSet<u64>,
+    pub suspected: SuspicionSet,
+    /// `Some` switches on the routing-plane optimization layer:
+    /// sub-query batching, the learned shortcut cache, and the hot-range
+    /// result cache. `None` (the default) keeps the wire protocol
+    /// byte-identical to the pre-cache implementation.
+    pub routing_opt: Option<RoutingOptConfig>,
+    /// Learned `key interval -> owner` shortcuts (empty unless
+    /// `routing_opt` enables them).
+    shortcuts: ShortcutCache,
+    /// Complete cached answers for hot ranges this node queried.
+    results_cache: ResultCache,
+    /// Per-query fill state for the result cache, keyed by query id.
+    cache_fill: BTreeMap<QueryId, CacheFill>,
     /// Next tracking-envelope sequence number (monotonic per node).
     next_seq: u64,
     /// Unacked tracked sends, keyed by sequence number.
@@ -137,7 +197,11 @@ impl SearchNode {
             publishes_stored: Vec::new(),
             telemetry: None,
             resilience: None,
-            suspected: BTreeSet::new(),
+            suspected: SuspicionSet::new(),
+            routing_opt: None,
+            shortcuts: ShortcutCache::default(),
+            results_cache: ResultCache::default(),
+            cache_fill: BTreeMap::new(),
             next_seq: 0,
             pending: BTreeMap::new(),
             seen_tracked: HashSet::new(),
@@ -154,6 +218,52 @@ impl SearchNode {
     pub fn enable_resilience(&mut self, rc: ResilienceConfig) {
         rc.validate();
         self.resilience = Some(rc);
+    }
+
+    /// Switch on the routing-plane optimization layer (batching,
+    /// shortcut cache, hot-range result cache) with the given knobs.
+    pub fn enable_routing_opt(&mut self, cfg: RoutingOptConfig) {
+        cfg.validate();
+        self.shortcuts = ShortcutCache::new(cfg.shortcut_capacity);
+        self.results_cache = ResultCache::new(cfg.result_capacity);
+        self.routing_opt = Some(cfg);
+    }
+
+    /// Suspect ring id `id` dead. On the *transition* into suspicion,
+    /// drop every shortcut learned for it — the churn signal the
+    /// tentpole's invalidation rule hangs on.
+    fn suspect_id(&mut self, id: u64) {
+        if !self.suspected.insert(id) {
+            return;
+        }
+        if self.routing_opt.is_some() {
+            let n = self.shortcuts.invalidate_owner(id);
+            if n > 0 {
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("cache.invalidations", n);
+                }
+            }
+        }
+    }
+
+    /// Drop routing-plane cache state invalidated by a data-plane event:
+    /// cached result regions of `index` (`None` = all indexes), plus —
+    /// when ownership itself moved (migration, rebalance, reindex) — all
+    /// learned shortcuts.
+    pub fn flush_routing_caches(&mut self, index: Option<u8>, ownership_moved: bool) {
+        if self.routing_opt.is_none() {
+            return;
+        }
+        let mut n = self.results_cache.clear_index(index);
+        if ownership_moved {
+            n += self.shortcuts.clear();
+        }
+        self.cache_fill.clear();
+        if n > 0 {
+            if let Some(tel) = &self.telemetry {
+                tel.incr("cache.invalidations", n);
+            }
+        }
     }
 
     /// Total entries stored across all indexes — the node's load.
@@ -175,22 +285,7 @@ impl SearchNode {
         sq: SubQueryMsg,
         split: bool,
     ) -> Vec<Action> {
-        let qid = sq.qid;
-        if self.resilience.is_some() {
-            let fa = FailureAware::new(&self.table, &self.suspected);
-            return match &self.telemetry {
-                None => route_subquery(&fa, grid, rot, sq, split),
-                Some(tel) => route_subquery_traced(&fa, grid, rot, sq, split, &mut |ev| {
-                    tel.record_routing(qid, me, ev)
-                }),
-            };
-        }
-        match &self.telemetry {
-            None => route_subquery(&self.table, grid, rot, sq, split),
-            Some(tel) => route_subquery_traced(&self.table, grid, rot, sq, split, &mut |ev| {
-                tel.record_routing(qid, me, ev)
-            }),
-        }
+        self.route_or_refine(me, grid, rot, sq, split, false)
     }
 
     /// Surrogate-refine one fragment, mirroring events into telemetry.
@@ -202,22 +297,80 @@ impl SearchNode {
         sq: SubQueryMsg,
         split: bool,
     ) -> Vec<Action> {
+        self.route_or_refine(me, grid, rot, sq, split, true)
+    }
+
+    /// Shared routing entry point: stack the failure-aware view (when
+    /// resilient) and the learned-shortcut view (when the optimization
+    /// layer is on and this fragment has not already taken its one
+    /// cache-derived hop) over the node's table, then route or refine.
+    ///
+    /// When any shortcut fired, every outgoing fragment is marked
+    /// [`SubQueryMsg::shortcut`] so receivers route it with their plain
+    /// tables — one cache hop per fragment, never a routing cycle.
+    fn route_or_refine(
+        &self,
+        me: usize,
+        grid: &Grid,
+        rot: Rotation,
+        sq: SubQueryMsg,
+        split: bool,
+        refine: bool,
+    ) -> Vec<Action> {
         let qid = sq.qid;
-        if self.resilience.is_some() {
-            let fa = FailureAware::new(&self.table, &self.suspected);
-            return match &self.telemetry {
-                None => surrogate_refine(&fa, grid, rot, sq, split),
-                Some(tel) => surrogate_refine_traced(&fa, grid, rot, sq, split, &mut |ev| {
-                    tel.record_routing(qid, me, ev)
-                }),
-            };
+        let use_shortcuts = !sq.shortcut
+            && self.naive_level.is_none()
+            && self.routing_opt.as_ref().is_some_and(|o| o.shortcuts)
+            && !self.shortcuts.is_empty();
+        let fa;
+        let base: &dyn OverlayTable = if self.resilience.is_some() {
+            fa = FailureAware::new(&self.table, self.suspected.as_set());
+            &fa
+        } else {
+            &self.table
+        };
+        let sc = use_shortcuts
+            .then(|| WithShortcuts::new(base, &self.shortcuts, self.suspected.as_set()));
+        let table: &dyn OverlayTable = match &sc {
+            Some(w) => w,
+            None => base,
+        };
+        let mut actions = match &self.telemetry {
+            None => {
+                if refine {
+                    surrogate_refine(table, grid, rot, sq, split)
+                } else {
+                    route_subquery(table, grid, rot, sq, split)
+                }
+            }
+            Some(tel) => {
+                let mut sink = |ev| tel.record_routing(qid, me, ev);
+                if refine {
+                    surrogate_refine_traced(table, grid, rot, sq, split, &mut sink)
+                } else {
+                    route_subquery_traced(table, grid, rot, sq, split, &mut sink)
+                }
+            }
+        };
+        if let Some(w) = &sc {
+            let (hits, misses) = (w.hits(), w.misses());
+            if let Some(tel) = &self.telemetry {
+                if hits > 0 {
+                    tel.incr("cache.hits", hits);
+                }
+                if misses > 0 {
+                    tel.incr("cache.misses", misses);
+                }
+            }
+            if hits > 0 {
+                for a in &mut actions {
+                    if let Action::Forward { sq, .. } | Action::Handoff { sq, .. } = a {
+                        sq.shortcut = true;
+                    }
+                }
+            }
         }
-        match &self.telemetry {
-            None => surrogate_refine(&self.table, grid, rot, sq, split),
-            Some(tel) => surrogate_refine_traced(&self.table, grid, rot, sq, split, &mut |ev| {
-                tel.record_routing(qid, me, ev)
-            }),
-        }
+        actions
     }
 
     /// Send an index-layer message, wrapping it in a tracked envelope
@@ -240,7 +393,7 @@ impl SearchNode {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let dead: Vec<u64> = self.suspected.iter().copied().collect();
+        let dead: Vec<u64> = self.suspected.iter().collect();
         let wire_bytes = bytes + tracked_overhead_bytes(dead.len());
         let wire = SearchMsg::Tracked {
             seq,
@@ -298,12 +451,31 @@ impl SearchNode {
                 let actions = self.route_traced(ctx.me().0, &grid, rot, sq, split);
                 self.execute(ctx, actions);
             }
+            SearchMsg::RefineBatch(subs) => {
+                // The shared surrogate died: re-route every coalesced
+                // fragment (suspicion set above routes around it).
+                let me = ctx.me().0;
+                let mut actions = Vec::new();
+                for sq in subs {
+                    let ix = &self.indexes[sq.index as usize];
+                    let grid = Arc::clone(&ix.grid);
+                    let rot = ix.rotation;
+                    let split = self.naive_level.is_none();
+                    actions.extend(self.route_traced(me, &grid, rot, sq, split));
+                }
+                self.execute(ctx, actions);
+            }
             SearchMsg::Publish { index, entry, hops } => self.on_publish(ctx, index, entry, hops),
             SearchMsg::Results { .. } => {
                 // The query's origin is gone; there is nowhere else for
                 // its results to go. Count the loss instead of hiding it.
                 if let Some(tel) = &self.telemetry {
                     tel.incr("resilience.results_lost", 1);
+                }
+            }
+            SearchMsg::ResultsOpt { items } => {
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("resilience.results_lost", items.len() as u64);
                 }
             }
             SearchMsg::Replicate { .. } => {
@@ -346,6 +518,7 @@ impl SearchNode {
                 }
             }
         }
+        let batching = self.routing_opt.as_ref().is_some_and(|o| o.batching);
         for (to, subs) in forwards {
             // Deterministic order inside a batch.
             let mut subs = subs;
@@ -372,33 +545,109 @@ impl SearchNode {
                     );
                     tel.incr("search.msgs.route", 1);
                     tel.incr("search.bytes.query", bytes as u64);
+                    if batching && subs.len() > 1 {
+                        tel.incr("batch.coalesced", (subs.len() - 1) as u64);
+                    }
                 }
             }
             self.send_search(ctx, to, msg, bytes);
         }
-        for (to, sq) in handoffs {
-            let qid = sq.qid;
-            let msg = SearchMsg::Refine(sq);
-            let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
-            *self.query_bytes_sent.entry(qid).or_default() += bytes as u64;
-            *self.query_msgs_sent.entry(qid).or_default() += 1;
-            if let Some(tel) = &self.telemetry {
-                tel.record(
-                    qid,
-                    TraceEvent::Handoff {
-                        from: ctx.me().0,
-                        to: to.0,
-                        bytes,
-                    },
-                );
-                tel.incr("search.msgs.refine", 1);
-                tel.incr("search.bytes.query", bytes as u64);
+        if batching {
+            // Coalesce co-destined surrogate hand-offs from this round
+            // into one RefineBatch per destination: n-1 headers saved.
+            let mut groups: BTreeMap<AgentId, Vec<SubQueryMsg>> = BTreeMap::new();
+            for (to, sq) in handoffs {
+                groups.entry(to).or_default().push(sq);
             }
-            self.send_search(ctx, to, msg, bytes);
+            for (to, mut subs) in groups {
+                subs.sort_by_key(|s| (s.qid, s.prefix.key(), s.prefix.len()));
+                if subs.len() == 1 {
+                    self.send_refine(ctx, to, subs.pop().expect("len checked"));
+                    continue;
+                }
+                let coalesced = (subs.len() - 1) as u64;
+                let msg = SearchMsg::RefineBatch(subs);
+                let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
+                if let SearchMsg::RefineBatch(ref subs) = msg {
+                    for s in subs {
+                        *self.query_msgs_sent.entry(s.qid).or_default() += 1;
+                    }
+                    let qid = subs[0].qid;
+                    *self.query_bytes_sent.entry(qid).or_default() += bytes as u64;
+                    if let Some(tel) = &self.telemetry {
+                        tel.record(
+                            qid,
+                            TraceEvent::Handoff {
+                                from: ctx.me().0,
+                                to: to.0,
+                                bytes,
+                            },
+                        );
+                        tel.incr("search.msgs.refine", 1);
+                        tel.incr("search.bytes.query", bytes as u64);
+                        tel.incr("batch.coalesced", coalesced);
+                    }
+                }
+                self.send_search(ctx, to, msg, bytes);
+            }
+        } else {
+            for (to, sq) in handoffs {
+                self.send_refine(ctx, to, sq);
+            }
         }
-        for ((qid, index), (hops, fragments)) in answers {
-            self.answer(ctx, qid, index, hops, fragments);
+        if self.routing_opt.is_some() {
+            // One ResultsOpt per origin: every answer this round rides
+            // in a single wire message carrying cache metadata.
+            let mut groups: BTreeMap<AgentId, Vec<ResultItem>> = BTreeMap::new();
+            for ((qid, index), (hops, fragments)) in answers {
+                let (origin, item) = self.answer_item(ctx, qid, index, hops, fragments);
+                groups.entry(origin).or_default().push(item);
+            }
+            for (origin, items) in groups {
+                let coalesced = (items.len() - 1) as u64;
+                let msg = SearchMsg::ResultsOpt { items };
+                let bytes = msg_bytes(&msg, |i| self.k_of(i));
+                if let SearchMsg::ResultsOpt { ref items } = msg {
+                    // answer_item attributed each item's bytes; the
+                    // shared header goes to the first item's query.
+                    *self.result_bytes_sent.entry(items[0].qid).or_default() += 20;
+                    if let Some(tel) = &self.telemetry {
+                        tel.incr("search.msgs.results", 1);
+                        tel.incr("search.bytes.results", bytes as u64);
+                        if coalesced > 0 {
+                            tel.incr("batch.coalesced", coalesced);
+                        }
+                    }
+                }
+                self.send_search(ctx, origin, msg, bytes);
+            }
+        } else {
+            for ((qid, index), (hops, fragments)) in answers {
+                self.answer(ctx, qid, index, hops, fragments);
+            }
         }
+    }
+
+    /// Send one un-batched surrogate hand-off (the pre-cache wire form).
+    fn send_refine(&mut self, ctx: &mut Ctx<'_, SearchMsg>, to: AgentId, sq: SubQueryMsg) {
+        let qid = sq.qid;
+        let msg = SearchMsg::Refine(sq);
+        let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
+        *self.query_bytes_sent.entry(qid).or_default() += bytes as u64;
+        *self.query_msgs_sent.entry(qid).or_default() += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.record(
+                qid,
+                TraceEvent::Handoff {
+                    from: ctx.me().0,
+                    to: to.0,
+                    bytes,
+                },
+            );
+            tel.incr("search.msgs.refine", 1);
+            tel.incr("search.bytes.query", bytes as u64);
+        }
+        self.send_search(ctx, to, msg, bytes);
     }
 
     /// Answer a set of fragments of one query from the local store: the
@@ -412,6 +661,161 @@ impl SearchNode {
         hops: u32,
         fragments: Vec<SubQueryMsg>,
     ) {
+        let core = self.collect_answer(qid, index, &fragments, false);
+        let returned = core.ranked.len() as u64;
+        let origin = fragments[0].origin;
+        let degraded = core.degraded;
+        let msg = SearchMsg::Results {
+            qid,
+            hops,
+            entries: core.ranked,
+            degraded,
+        };
+        let bytes = msg_bytes(&msg, |i| self.k_of(i));
+        *self.result_bytes_sent.entry(qid).or_default() += bytes as u64;
+        if let Some(tel) = &self.telemetry {
+            tel.record(
+                qid,
+                TraceEvent::Answer {
+                    at: ctx.me().0,
+                    hops,
+                    scanned: core.scanned,
+                    matched: core.matched,
+                    returned,
+                    bytes,
+                },
+            );
+            tel.incr("store.entries_scanned", core.scanned);
+            tel.incr("store.entries_matched", core.matched);
+            tel.incr("store.entries_skipped", core.skipped);
+            tel.incr("search.refine.dist_calls", core.dist_calls);
+            if core.pruned > 0 {
+                tel.incr("search.refine.pruned", core.pruned);
+            }
+            tel.incr("search.msgs.results", 1);
+            tel.incr("search.bytes.results", bytes as u64);
+            if core.replica_answers > 0 {
+                tel.incr("resilience.replica_answers", core.replica_answers);
+            }
+            if degraded {
+                tel.incr("resilience.degraded_answers", 1);
+            }
+        }
+        self.send_search(ctx, origin, msg, bytes);
+    }
+
+    /// [`Self::answer`]'s optimization-layer sibling: same scan, same
+    /// ranking, same counters — but the reply is returned as a
+    /// [`ResultItem`] (for per-origin coalescing by the caller) carrying
+    /// the metadata the origin's caches learn from: this node's owned
+    /// ring arc intersected with the fragments' spans, and — when the
+    /// answer is provably complete primary data — the full pre-pruning
+    /// candidate set.
+    fn answer_item(
+        &mut self,
+        ctx: &mut Ctx<'_, SearchMsg>,
+        qid: QueryId,
+        index: u8,
+        hops: u32,
+        fragments: Vec<SubQueryMsg>,
+    ) -> (AgentId, ResultItem) {
+        let core = self.collect_answer(qid, index, &fragments, true);
+        let me = self.table.me_ref();
+        // The arc this node's primaries are authoritative for:
+        // `(pred, me]`. With no known predecessor no claim is made (the
+        // origin then simply never completes its fill).
+        let arc = self
+            .table
+            .predecessor_ref()
+            .map(|p| (p.id.0.wrapping_add(1), me.id.0));
+        let mut covered: Vec<(u64, u64)> = Vec::new();
+        if let Some(arc) = arc {
+            let ix = &self.indexes[index as usize];
+            for f in &fragments {
+                let (lo, hi) = ix.grid.key_span(&f.rect);
+                let span = (ix.rotation.to_ring(lo), ix.rotation.to_ring(hi));
+                covered.extend(intersect_wrap(span, arc));
+            }
+            covered.sort_unstable();
+            covered.dedup();
+        }
+        // A cacheable candidate set must be complete primary data: no
+        // replica stand-ins, no known coverage holes, an arc to claim,
+        // and within the configured size bound.
+        let max_cached = self
+            .routing_opt
+            .as_ref()
+            .map_or(0, |o| o.max_cached_entries);
+        let cached = match core.cache_pts {
+            Some(pts)
+                if core.replica_answers == 0
+                    && !core.degraded
+                    && !covered.is_empty()
+                    && pts.len() <= max_cached =>
+            {
+                Some(pts)
+            }
+            _ => None,
+        };
+        let returned = core.ranked.len() as u64;
+        let origin = fragments[0].origin;
+        let item = ResultItem {
+            qid,
+            hops,
+            entries: core.ranked,
+            degraded: core.degraded,
+            index,
+            owner: me.id.0,
+            covered,
+            cached,
+        };
+        let bytes = result_item_bytes(
+            item.entries.len(),
+            item.covered.len(),
+            item.cached.as_ref().map(|c| c.len()),
+            self.k_of(index),
+        );
+        *self.result_bytes_sent.entry(qid).or_default() += bytes as u64;
+        if let Some(tel) = &self.telemetry {
+            tel.record(
+                qid,
+                TraceEvent::Answer {
+                    at: ctx.me().0,
+                    hops,
+                    scanned: core.scanned,
+                    matched: core.matched,
+                    returned,
+                    bytes,
+                },
+            );
+            tel.incr("store.entries_scanned", core.scanned);
+            tel.incr("store.entries_matched", core.matched);
+            tel.incr("store.entries_skipped", core.skipped);
+            tel.incr("search.refine.dist_calls", core.dist_calls);
+            if core.pruned > 0 {
+                tel.incr("search.refine.pruned", core.pruned);
+            }
+            if core.replica_answers > 0 {
+                tel.incr("resilience.replica_answers", core.replica_answers);
+            }
+            if core.degraded {
+                tel.incr("resilience.degraded_answers", 1);
+            }
+        }
+        (origin, item)
+    }
+
+    /// The answering core shared by [`Self::answer`] and
+    /// [`Self::answer_item`]: scan the fragments' ring spans, dedup and
+    /// radius-prune candidates, answer replicas for suspected owners,
+    /// detect degradation, and rank by true distance.
+    fn collect_answer(
+        &self,
+        qid: QueryId,
+        index: u8,
+        fragments: &[SubQueryMsg],
+        collect_cache: bool,
+    ) -> AnswerCore {
         let resilient = self.resilience.is_some();
         let ix = &self.indexes[index as usize];
         // Every fragment of one query shares the same ball, so any copy
@@ -431,9 +835,13 @@ impl SearchNode {
         // Collect matching entries over all fragments, dedup by object.
         // A candidate carries its pivot lower bound (`None` without a
         // ball: such candidates are never pruned); candidates provably
-        // outside the metric range are dropped before refinement.
+        // outside the metric range are dropped before refinement — but
+        // when a cacheable candidate set is being collected they are
+        // still captured first: a contained future query has a different
+        // center, so only the *rect* filter may be applied at cache time.
         let mut cands: Vec<(ObjectId, Option<f64>)> = Vec::new();
         let mut range_pruned: Vec<ObjectId> = Vec::new();
+        let mut cache_pts: Option<Vec<(ObjectId, Box<[f64]>)>> = collect_cache.then(Vec::new);
         let mut pruned = 0u64;
         let mut scanned = 0u64;
         let mut matched = 0u64;
@@ -444,6 +852,11 @@ impl SearchNode {
             matched += work.matched as u64;
             skipped += work.skipped as u64;
             for e in hits {
+                if let Some(pts) = &mut cache_pts {
+                    if !pts.iter().any(|(o, _)| *o == e.obj) {
+                        pts.push((e.obj, e.point.clone()));
+                    }
+                }
                 if cands.iter().any(|(o, _)| *o == e.obj) || range_pruned.contains(&e.obj) {
                     continue;
                 }
@@ -468,7 +881,7 @@ impl SearchNode {
             for (f, span) in fragments.iter().zip(&spans) {
                 let (reps, _) = ix.store.replicas_in_span(*span);
                 for (owner, e) in reps {
-                    if !self.suspected.contains(owner) || !f.rect.contains_point(&e.point) {
+                    if !self.suspected.contains(*owner) || !f.rect.contains_point(&e.point) {
                         continue;
                     }
                     if cands.iter().any(|(o, _)| *o == e.obj) || range_pruned.contains(&e.obj) {
@@ -497,12 +910,12 @@ impl SearchNode {
         // letting recall silently shrink.
         let mut degraded = false;
         if resilient {
-            for s in &self.suspected {
+            for s in self.suspected.iter() {
                 let in_queried_range = fragments.iter().any(|f| {
                     let (start, end) = ix.rotation.ring_arc(f.prefix);
                     s.wrapping_sub(start) <= end.wrapping_sub(start)
                 });
-                if in_queried_range && !ix.store.replicas().iter().any(|(o, _)| o == s) {
+                if in_queried_range && !ix.store.replicas().iter().any(|(o, _)| *o == s) {
                     degraded = true;
                     break;
                 }
@@ -535,45 +948,17 @@ impl SearchNode {
             ranked.insert(pos, (o, d));
             ranked.truncate(self.knn_k);
         }
-        let returned = ranked.len() as u64;
-        let origin = fragments[0].origin;
-        let msg = SearchMsg::Results {
-            qid,
-            hops,
-            entries: ranked,
+        AnswerCore {
+            ranked,
             degraded,
-        };
-        let bytes = msg_bytes(&msg, |i| self.k_of(i));
-        *self.result_bytes_sent.entry(qid).or_default() += bytes as u64;
-        if let Some(tel) = &self.telemetry {
-            tel.record(
-                qid,
-                TraceEvent::Answer {
-                    at: ctx.me().0,
-                    hops,
-                    scanned,
-                    matched,
-                    returned,
-                    bytes,
-                },
-            );
-            tel.incr("store.entries_scanned", scanned);
-            tel.incr("store.entries_matched", matched);
-            tel.incr("store.entries_skipped", skipped);
-            tel.incr("search.refine.dist_calls", dist_calls);
-            if pruned > 0 {
-                tel.incr("search.refine.pruned", pruned);
-            }
-            tel.incr("search.msgs.results", 1);
-            tel.incr("search.bytes.results", bytes as u64);
-            if replica_answers > 0 {
-                tel.incr("resilience.replica_answers", replica_answers);
-            }
-            if degraded {
-                tel.incr("resilience.degraded_answers", 1);
-            }
+            scanned,
+            matched,
+            skipped,
+            pruned,
+            dist_calls,
+            replica_answers,
+            cache_pts,
         }
-        self.send_search(ctx, origin, msg, bytes);
     }
 
     fn on_issue(&mut self, ctx: &mut Ctx<'_, SearchMsg>, sq: SubQueryMsg) {
@@ -595,6 +980,82 @@ impl SearchNode {
         let ix = &self.indexes[sq.index as usize];
         let grid = Arc::clone(&ix.grid);
         let rot = ix.rotation;
+        // Hot-range result cache: a cached region whose rect contains
+        // this query's rect holds the complete candidate set for it, so
+        // the query is answered locally — zero messages, zero hops. The
+        // ball's exclusion test and the ranking are re-run per query
+        // (the cached set is pre-pruning; distances are query-specific).
+        let use_result_cache =
+            self.routing_opt.as_ref().is_some_and(|o| o.result_cache) && self.naive_level.is_none();
+        if use_result_cache {
+            if let Some(ball) = &sq.ball {
+                let bucket = radius_bucket(ball.radius);
+                if let Some(region) = self
+                    .results_cache
+                    .lookup(sq.index, sq.prefix, bucket, &sq.rect)
+                {
+                    let bounds = grid.bounds();
+                    let mut matched = 0u64;
+                    let mut dist_calls = 0u64;
+                    let mut ranked: Vec<(ObjectId, f64)> = Vec::new();
+                    for (obj, point) in &region.entries {
+                        if !sq.rect.contains_point(point) {
+                            continue;
+                        }
+                        matched += 1;
+                        if ball.excludes(point, bounds) {
+                            continue;
+                        }
+                        let d = self.oracle.distance(sq.qid, *obj);
+                        dist_calls += 1;
+                        let pos = ranked
+                            .partition_point(|x| x.1.total_cmp(&d).then(x.0.cmp(obj)).is_lt());
+                        ranked.insert(pos, (*obj, d));
+                        ranked.truncate(self.knn_k);
+                    }
+                    let returned = ranked.len() as u64;
+                    let now = ctx.now();
+                    let iq = self.issued.get_mut(&sq.qid).expect("inserted above");
+                    iq.first_result = Some(now);
+                    iq.last_result = Some(now);
+                    iq.responses = 1;
+                    iq.merged = ranked;
+                    if let Some(tel) = &self.telemetry {
+                        tel.record(
+                            sq.qid,
+                            TraceEvent::Answer {
+                                at: ctx.me().0,
+                                hops: 0,
+                                scanned: 0,
+                                matched,
+                                returned,
+                                bytes: 0,
+                            },
+                        );
+                        tel.incr("cache.hits", 1);
+                        tel.incr("search.refine.dist_calls", dist_calls);
+                    }
+                    return;
+                }
+                // Miss: start a fill so the answers about to arrive can
+                // populate the cache once their arcs cover the span.
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("cache.misses", 1);
+                }
+                let (lo, hi) = grid.key_span(&sq.rect);
+                let needed = split_wrap((rot.to_ring(lo), rot.to_ring(hi)));
+                self.cache_fill.insert(
+                    sq.qid,
+                    CacheFill {
+                        key: (sq.index, sq.prefix.key(), sq.prefix.len(), bucket),
+                        rect: sq.rect.clone(),
+                        needed,
+                        covered: Vec::new(),
+                        cands: Vec::new(),
+                    },
+                );
+            }
+        }
         let actions = match self.naive_level {
             None => self.route_traced(ctx.me().0, &grid, rot, sq, true),
             Some(level) => {
@@ -647,13 +1108,87 @@ impl SearchNode {
         }
     }
 
+    /// Fold one [`ResultItem`] of a coalesced reply into the origin's
+    /// state: learn owner shortcuts from its coverage claim, advance (or
+    /// poison) the result-cache fill, then merge its entries exactly as
+    /// a classic [`SearchMsg::Results`] would have been.
+    fn on_result_item(&mut self, ctx: &mut Ctx<'_, SearchMsg>, from: AgentId, item: ResultItem) {
+        let ResultItem {
+            qid,
+            hops,
+            entries,
+            degraded,
+            index,
+            owner,
+            covered,
+            cached,
+        } = item;
+        let (learn, fill_on, max_cached) = match &self.routing_opt {
+            Some(o) => (o.shortcuts, o.result_cache, o.max_cached_entries),
+            None => (false, false, 0),
+        };
+        // The answerer's owned arc ∩ queried span is exactly the key
+        // interval it is authoritative for: remember it owns those keys.
+        if learn && from != ctx.me() && owner != self.table.me_ref().id.0 {
+            let mut evicted = 0u64;
+            for &iv in &covered {
+                evicted += self.shortcuts.learn(iv, chord::NodeRef::new(owner, from.0));
+            }
+            if evicted > 0 {
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("cache.evictions", evicted);
+                }
+            }
+        }
+        if fill_on && self.cache_fill.get(&qid).is_some_and(|f| f.key.0 == index) {
+            let pts = match cached {
+                Some(pts) if !degraded => Some(pts),
+                // Replica-assisted, degraded, or oversize answer: the
+                // union can never be proven complete primary data.
+                _ => None,
+            };
+            if let Some(pts) = pts {
+                let fill = self.cache_fill.get_mut(&qid).expect("checked above");
+                for (o, p) in pts {
+                    if !fill.cands.iter().any(|(x, _)| *x == o) {
+                        fill.cands.push((o, p));
+                    }
+                }
+                if fill.cands.len() > max_cached {
+                    self.cache_fill.remove(&qid);
+                } else {
+                    fill.covered.extend(covered.iter().copied());
+                    if covers(&fill.needed, &fill.covered) {
+                        let fill = self.cache_fill.remove(&qid).expect("checked above");
+                        let evicted = self.results_cache.insert(
+                            fill.key,
+                            CachedRegion {
+                                rect: fill.rect,
+                                entries: fill.cands,
+                            },
+                        );
+                        if let Some(tel) = &self.telemetry {
+                            tel.incr("cache.stores", 1);
+                            if evicted > 0 {
+                                tel.incr("cache.evictions", evicted);
+                            }
+                        }
+                    }
+                }
+            } else {
+                self.cache_fill.remove(&qid);
+            }
+        }
+        self.on_results(ctx, qid, hops, entries, degraded);
+    }
+
     /// Route or store one published entry. In resilient mode the routing
     /// is failure-aware and a stored entry is pushed to `replication - 1`
     /// ring successors.
     fn on_publish(&mut self, ctx: &mut Ctx<'_, SearchMsg>, index: u8, entry: Entry, hops: u32) {
         let key = chord::ChordId(entry.ring_key);
         let decision = if self.resilience.is_some() {
-            FailureAware::new(&self.table, &self.suspected).decide(key)
+            FailureAware::new(&self.table, self.suspected.as_set()).decide(key)
         } else {
             self.table.decide(key)
         };
@@ -688,6 +1223,18 @@ impl SearchNode {
             tel.observe("publish.hops", hops as u64);
         }
         self.publishes_stored.push((hops, entry.obj));
+        if self.routing_opt.is_some() {
+            // A new entry landing inside a cached region would make that
+            // cached answer incomplete: drop any region containing it.
+            let n = self
+                .results_cache
+                .invalidate_containing(index, &entry.point);
+            if n > 0 {
+                if let Some(tel) = &self.telemetry {
+                    tel.incr("cache.invalidations", n);
+                }
+            }
+        }
         self.indexes[index as usize].store.insert(entry.clone());
         self.replicate_out(ctx, index, entry);
     }
@@ -707,7 +1254,7 @@ impl SearchNode {
             .table
             .successor_list()
             .into_iter()
-            .filter(|s| s.addr != me.addr && !self.suspected.contains(&s.id.0))
+            .filter(|s| s.addr != me.addr && !self.suspected.contains(s.id.0))
             .take(want)
             .collect();
         for s in targets {
@@ -752,6 +1299,26 @@ impl Agent for SearchNode {
                 let actions = self.refine_traced(ctx.me().0, &grid, rot, sq, split);
                 self.execute(ctx, actions);
             }
+            SearchMsg::RefineBatch(subs) => {
+                // Coalesced co-destined hand-offs: refine each fragment,
+                // then execute the whole round's actions at once so its
+                // own outputs coalesce again.
+                let me = ctx.me().0;
+                let mut actions = Vec::new();
+                for sq in subs {
+                    let ix = &self.indexes[sq.index as usize];
+                    let grid = Arc::clone(&ix.grid);
+                    let rot = ix.rotation;
+                    let split = self.naive_level.is_none();
+                    actions.extend(self.refine_traced(me, &grid, rot, sq, split));
+                }
+                self.execute(ctx, actions);
+            }
+            SearchMsg::ResultsOpt { items } => {
+                for item in items {
+                    self.on_result_item(ctx, from, item);
+                }
+            }
             SearchMsg::Results {
                 qid,
                 hops,
@@ -783,7 +1350,7 @@ impl Agent for SearchNode {
                 let me_id = self.table.me_ref().id.0;
                 for d in dead {
                     if d != me_id {
-                        self.suspected.insert(d);
+                        self.suspect_id(d);
                     }
                 }
                 if !self.seen_tracked.insert((from.0, seq)) {
@@ -816,7 +1383,7 @@ impl Agent for SearchNode {
         };
         if p.attempts < rc.max_retries {
             p.attempts += 1;
-            let dead: Vec<u64> = self.suspected.iter().copied().collect();
+            let dead: Vec<u64> = self.suspected.iter().collect();
             let wire_bytes = p.bytes + tracked_overhead_bytes(dead.len());
             let wire = SearchMsg::Tracked {
                 seq,
@@ -835,7 +1402,7 @@ impl Agent for SearchNode {
             // the payload around it.
             if let Some(id) = p.dst_id {
                 if id != self.table.me_ref().id.0 {
-                    self.suspected.insert(id);
+                    self.suspect_id(id);
                 }
             }
             if let Some(tel) = &self.telemetry {
@@ -849,7 +1416,13 @@ impl Agent for SearchNode {
         // The simulator discarded this host's timers with the crash;
         // clear the bookkeeping that assumed they would fire. In-flight
         // requests die here — the *senders'* retry timers cover them.
+        // Learned routing-plane caches die with the process too: a
+        // restarted node relearns from scratch rather than trusting
+        // pre-crash views of the ring.
         self.pending.clear();
+        self.shortcuts.clear();
+        self.results_cache.clear_index(None);
+        self.cache_fill.clear();
     }
 }
 
@@ -916,6 +1489,7 @@ mod tests {
             hops: 0,
             origin: AgentId(0),
             ball: None,
+            shortcut: false,
         })
     }
 
@@ -966,6 +1540,7 @@ mod tests {
                 hops: 0,
                 origin: AgentId(1),
                 ball: None,
+                shortcut: false,
             }),
         );
         sim.run();

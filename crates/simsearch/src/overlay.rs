@@ -17,6 +17,14 @@ pub trait OverlayTable {
     fn decide(&self, key: ChordId) -> RouteDecision;
     /// Every node this table knows (used by load-balance probing).
     fn neighbors(&self) -> Vec<NodeRef>;
+    /// This node's ring predecessor, when the substrate maintains one —
+    /// it bounds the node's owned arc `(pred, me]`, which the
+    /// routing-plane result cache uses to prove answer completeness.
+    /// `None` means the node cannot prove an arc claim (and the caches
+    /// simply learn nothing from its answers).
+    fn predecessor_ref(&self) -> Option<NodeRef> {
+        None
+    }
     /// Known nodes ordered by clockwise ring distance from this node —
     /// replica placement targets. Chord's successor list is exactly this;
     /// other substrates derive it from their neighbor sets.
@@ -42,6 +50,9 @@ impl OverlayTable for RoutingTable {
     fn successor_list(&self) -> Vec<NodeRef> {
         self.successors().to_vec()
     }
+    fn predecessor_ref(&self) -> Option<NodeRef> {
+        self.predecessor()
+    }
 }
 
 impl OverlayTable for PastryTable {
@@ -53,6 +64,9 @@ impl OverlayTable for PastryTable {
     }
     fn neighbors(&self) -> Vec<NodeRef> {
         self.known_nodes()
+    }
+    fn predecessor_ref(&self) -> Option<NodeRef> {
+        self.predecessor()
     }
 }
 
@@ -122,6 +136,12 @@ impl OverlayTable for Overlay {
                 out.sort_by_key(|n| me.id.cw_dist(n.id));
                 out
             }
+        }
+    }
+    fn predecessor_ref(&self) -> Option<NodeRef> {
+        match self {
+            Overlay::Chord(t) => t.predecessor(),
+            Overlay::Pastry(t) => t.predecessor(),
         }
     }
 }
@@ -201,6 +221,12 @@ impl OverlayTable for FailureAware<'_> {
             .into_iter()
             .filter(|n| !self.dead.contains(&n.id.0))
             .collect()
+    }
+    fn predecessor_ref(&self) -> Option<NodeRef> {
+        // The raw predecessor: the owned-arc claim is about ring
+        // geometry, not liveness, and a suspected predecessor does not
+        // change which keys this node stores.
+        self.inner.predecessor_ref()
     }
 }
 

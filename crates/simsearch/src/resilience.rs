@@ -72,6 +72,59 @@ impl ResilienceConfig {
     }
 }
 
+/// A node's failure-suspicion set, with edge-triggered insertion.
+///
+/// Wraps the plain id set that failure-aware routing filters on and
+/// makes the *transition* into suspicion observable: [`insert`] returns
+/// whether the id is newly suspected, which is exactly the churn signal
+/// the routing-plane caches hang their invalidation on (a shortcut
+/// learned for a now-suspected owner is dropped the moment suspicion
+/// arrives, whether from local retry exhaustion or gossip).
+///
+/// [`insert`]: SuspicionSet::insert
+#[derive(Clone, Debug, Default)]
+pub struct SuspicionSet {
+    ids: std::collections::BTreeSet<u64>,
+}
+
+impl SuspicionSet {
+    /// An empty set: everybody is presumed live.
+    pub fn new() -> SuspicionSet {
+        SuspicionSet::default()
+    }
+
+    /// Suspect `id`; true when this is news (edge trigger).
+    pub fn insert(&mut self, id: u64) -> bool {
+        self.ids.insert(id)
+    }
+
+    /// Is `id` currently suspected dead?
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// True when nobody is suspected.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of suspected ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Suspected ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// The raw set, for [`crate::overlay::FailureAware`] and the
+    /// shortcut-cache wrapper.
+    pub fn as_set(&self) -> &std::collections::BTreeSet<u64> {
+        &self.ids
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +132,19 @@ mod tests {
     #[test]
     fn defaults_validate() {
         ResilienceConfig::default().validate();
+    }
+
+    #[test]
+    fn suspicion_insert_is_edge_triggered() {
+        let mut s = SuspicionSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(7), "first suspicion is news");
+        assert!(!s.insert(7), "repeat suspicion is not");
+        assert!(s.insert(3));
+        assert!(s.contains(7) && s.contains(3) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(s.as_set().len(), 2);
     }
 
     #[test]

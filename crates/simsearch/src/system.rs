@@ -12,6 +12,7 @@ use serde_json::Value;
 use simnet::telemetry::histogram_of;
 use simnet::{AgentId, Sim, SimRng, SimTime, Topology};
 
+use crate::cache::RoutingOptConfig;
 use crate::load::{self, LoadBalanceReport};
 use crate::msg::{DistanceOracle, QueryBall, QueryId, SearchMsg, SubQueryMsg};
 use crate::node::{IndexState, SearchNode};
@@ -58,6 +59,11 @@ pub struct SystemConfig {
     /// (see [`crate::resilience`]). `None` (default) keeps the wire
     /// protocol identical to the fault-free implementation.
     pub resilience: Option<ResilienceConfig>,
+    /// `Some` turns on the routing-plane optimization layer (see
+    /// [`crate::cache`]): sub-query batching, learned owner shortcuts,
+    /// and the hot-range result cache. `None` (default) keeps the wire
+    /// protocol byte-identical to the unoptimized implementation.
+    pub routing_opt: Option<RoutingOptConfig>,
 }
 
 impl Default for SystemConfig {
@@ -75,6 +81,7 @@ impl Default for SystemConfig {
             load_aware_join: false,
             overlay: OverlayKind::Chord,
             resilience: None,
+            routing_opt: None,
         }
     }
 }
@@ -307,6 +314,13 @@ impl SearchSystem {
             if let Some(rc) = &cfg.resilience {
                 node.enable_resilience(rc.clone());
             }
+            if let Some(opt) = &cfg.routing_opt {
+                // The naive baseline bypasses Algorithms 3–5, so the
+                // routing-plane caches would never be consulted anyway.
+                if cfg.naive_level.is_none() {
+                    node.enable_routing_opt(opt.clone());
+                }
+            }
         }
 
         let mut ring = ring;
@@ -471,19 +485,38 @@ impl SearchSystem {
             .iter()
             .map(|(qid, t)| (format!("{qid:010}"), t.to_json()))
             .collect();
+        let mut config = serde_json::json!({
+            "n_nodes": Value::UInt(self.cfg.n_nodes as u64),
+            "seed": Value::UInt(self.cfg.seed),
+            "n_successors": Value::UInt(self.cfg.n_successors as u64),
+            "pns_candidates": Value::UInt(self.cfg.pns_candidates as u64),
+            "knn_k": Value::UInt(self.cfg.knn_k as u64),
+            "depth": Value::UInt(self.cfg.depth as u64),
+            "overlay": Value::String(overlay.to_string()),
+            "replication": Value::UInt(
+                self.cfg.resilience.as_ref().map_or(1, |rc| rc.replication) as u64
+            ),
+        });
+        // Present only when the optimization layer is on, so snapshots
+        // of unoptimized runs stay byte-identical to their pre-cache
+        // goldens.
+        if let Some(opt) = &self.cfg.routing_opt {
+            if let Value::Object(map) = &mut config {
+                map.insert(
+                    "routing_opt".to_string(),
+                    serde_json::json!({
+                        "batching": Value::Bool(opt.batching),
+                        "shortcuts": Value::Bool(opt.shortcuts),
+                        "result_cache": Value::Bool(opt.result_cache),
+                        "shortcut_capacity": Value::UInt(opt.shortcut_capacity as u64),
+                        "result_capacity": Value::UInt(opt.result_capacity as u64),
+                        "max_cached_entries": Value::UInt(opt.max_cached_entries as u64),
+                    }),
+                );
+            }
+        }
         serde_json::json!({
-            "config": serde_json::json!({
-                "n_nodes": Value::UInt(self.cfg.n_nodes as u64),
-                "seed": Value::UInt(self.cfg.seed),
-                "n_successors": Value::UInt(self.cfg.n_successors as u64),
-                "pns_candidates": Value::UInt(self.cfg.pns_candidates as u64),
-                "knn_k": Value::UInt(self.cfg.knn_k as u64),
-                "depth": Value::UInt(self.cfg.depth as u64),
-                "overlay": Value::String(overlay.to_string()),
-                "replication": Value::UInt(
-                    self.cfg.resilience.as_ref().map_or(1, |rc| rc.replication) as u64
-                ),
-            }),
+            "config": config,
             "net": serde_json::json!({
                 "messages": Value::UInt(net.messages),
                 "bytes": Value::UInt(net.bytes),
@@ -547,6 +580,50 @@ impl SearchSystem {
                         center: q.point.clone().into(),
                         radius: q.radius,
                     }),
+                    shortcut: false,
+                }),
+            );
+        }
+        self.sim.run();
+        self.collect(queries)
+    }
+
+    /// [`SearchSystem::run_queries`] with caller-chosen issuing nodes:
+    /// query `i` is issued from `origins[i % origins.len()]`. Arrival
+    /// times still come from the same seeded Poisson process — only the
+    /// origin draw is skipped — so repeated-origin (hot) workloads, the
+    /// ones the per-node routing caches exist for, stay deterministic.
+    pub fn run_queries_from(
+        &mut self,
+        queries: &[QuerySpec],
+        origins: &[usize],
+        mean_interarrival_s: f64,
+    ) -> Vec<QueryOutcome> {
+        assert!(queries.len() <= u32::MAX as usize);
+        assert!(!origins.is_empty(), "need at least one origin");
+        let mut rng = SimRng::new(self.cfg.seed).fork(0x9E);
+        let mut t = self.sim.now().as_secs_f64();
+        for (qid, q) in queries.iter().enumerate() {
+            t += rng.exponential(mean_interarrival_s);
+            let origin = AgentId(origins[qid % origins.len()] % self.cfg.n_nodes);
+            let grid = &self.grids[q.index as usize];
+            let rect = Rect::ball(&q.point, q.radius, grid.bounds());
+            let prefix = grid.enclosing_prefix(&rect);
+            self.sim.inject(
+                SimTime::from_secs_f64(t),
+                origin,
+                SearchMsg::Issue(SubQueryMsg {
+                    qid: qid as QueryId,
+                    index: q.index,
+                    rect,
+                    prefix,
+                    hops: 0,
+                    origin,
+                    ball: Some(QueryBall {
+                        center: q.point.clone().into(),
+                        radius: q.radius,
+                    }),
+                    shortcut: false,
                 }),
             );
         }

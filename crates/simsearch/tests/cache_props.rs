@@ -1,0 +1,367 @@
+//! Properties of the routing-plane optimization layer (see
+//! `src/cache.rs`):
+//!
+//! 1. **Shortcut safety** — with arbitrary (even wrong/stale) learned
+//!    shortcut caches on every node, distributed resolution still
+//!    answers every entry of the queried region from the node owning
+//!    its key, and still terminates: a shortcut hit either lands on a
+//!    covering node or degrades to one extra hop of plain Chord
+//!    routing, never a wrong answer and never a cycle.
+//! 2. **Result-cache transparency** — on a frozen ring, a hot workload
+//!    with the full optimization layer on returns exactly the merged
+//!    `(object, distance)` sets of the unoptimized system.
+//! 3. **Invalidation under churn** — crashing a node the origin learned
+//!    shortcuts to must trigger the suspicion-driven invalidation and
+//!    cost no recall.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use chord::{ChordId, OracleRing, RoutingTable};
+use landmark::{boundary_from_metric, kmeans, Mapper};
+use lph::{Grid, Rect, Rotation};
+use metric::{Metric, ObjectId, L2};
+use proptest::prelude::*;
+use simnet::{AgentId, SimRng, SimTime};
+use simsearch::{
+    route_subquery, surrogate_refine, Action, IndexSpec, OverlayTable, QueryDistance, QueryId,
+    QueryOutcome, QuerySpec, ResilienceConfig, RoutingOptConfig, SearchSystem, ShortcutCache,
+    SubQueryMsg, SystemConfig, WithShortcuts,
+};
+use workloads::{ClusteredParams, ClusteredVectors};
+
+/// Deliver actions until quiescence, mirroring `SearchNode`'s use of the
+/// shortcut wrapper: each node consults its own cache unless the
+/// fragment already took its one cache-derived hop, and after any hit
+/// all emitted fragments are marked so receivers route them plainly.
+fn resolve_with_shortcuts(
+    tables: &[RoutingTable],
+    caches: &[ShortcutCache],
+    grid: &Grid,
+    rot: Rotation,
+    start: usize,
+    sq: SubQueryMsg,
+) -> (Vec<(usize, Rect)>, usize) {
+    let dead = BTreeSet::new();
+    let mut answers = Vec::new();
+    let mut msgs = 0usize;
+    let mut work = vec![(start, sq, false)];
+    while let Some((at, q, is_refine)) = work.pop() {
+        let sc = (!q.shortcut)
+            .then(|| WithShortcuts::new(&tables[at] as &dyn OverlayTable, &caches[at], &dead));
+        let table: &dyn OverlayTable = match &sc {
+            Some(w) => w,
+            None => &tables[at],
+        };
+        let mut actions = if is_refine {
+            surrogate_refine(table, grid, rot, q, true)
+        } else {
+            route_subquery(table, grid, rot, q, true)
+        };
+        if sc.is_some_and(|w| w.hits() > 0) {
+            for a in &mut actions {
+                if let Action::Forward { sq, .. } | Action::Handoff { sq, .. } = a {
+                    sq.shortcut = true;
+                }
+            }
+        }
+        for a in actions {
+            match a {
+                Action::Answer(ans) => answers.push((at, ans.rect)),
+                Action::Handoff { to, sq } => {
+                    msgs += 1;
+                    work.push((to.0, sq, true));
+                }
+                Action::Forward { to, sq } => {
+                    msgs += 1;
+                    work.push((to.0, sq, false));
+                }
+            }
+        }
+        assert!(
+            msgs < 100_000,
+            "routing with shortcut caches did not terminate"
+        );
+    }
+    (answers, msgs)
+}
+
+fn check_shortcut_world(
+    n_nodes: usize,
+    seed: u64,
+    rect_lo: Vec<f64>,
+    rect_hi: Vec<f64>,
+    start: usize,
+    n_shortcuts: usize,
+) -> Result<(), TestCaseError> {
+    let dims = rect_lo.len();
+    let mut rng = SimRng::new(seed);
+    let ring = OracleRing::with_random_ids(n_nodes, &mut rng);
+    let tables = ring.build_all_tables(8, None, 8);
+    let grid = Grid::new(Rect::cube(dims, 0.0, 64.0), 12);
+    let rot = Rotation::IDENTITY;
+    // Arbitrary per-node caches: intervals are random (wrapping allowed)
+    // and owners are random ring members — most entries are *wrong*, the
+    // adversarial case for a learned cache.
+    let mut crng = SimRng::new(seed ^ 0xCAFE);
+    let caches: Vec<ShortcutCache> = (0..n_nodes)
+        .map(|_| {
+            let mut c = ShortcutCache::new(64);
+            for _ in 0..n_shortcuts {
+                let a = crng.below(u64::MAX);
+                let b = crng.below(u64::MAX);
+                let owner = ring.nodes()[crng.index(n_nodes)];
+                c.learn((a, b), owner);
+            }
+            c
+        })
+        .collect();
+    let rect = Rect::new(
+        rect_lo
+            .iter()
+            .zip(&rect_hi)
+            .map(|(a, b)| a.min(*b))
+            .collect(),
+        rect_lo
+            .iter()
+            .zip(&rect_hi)
+            .map(|(a, b)| a.max(*b))
+            .collect(),
+    );
+    let sq = SubQueryMsg {
+        qid: 0,
+        index: 0,
+        rect: rect.clone(),
+        prefix: grid.enclosing_prefix(&rect),
+        hops: 0,
+        origin: AgentId(0),
+        ball: None,
+        shortcut: false,
+    };
+    let (answers, msgs) = resolve_with_shortcuts(&tables, &caches, &grid, rot, start % n_nodes, sq);
+    // Coverage: every probe's owner answered a region containing it —
+    // identical to the no-cache property in `coverage.rs`.
+    let mut probes: Vec<Vec<f64>> = vec![rect.lo().to_vec(), rect.hi().to_vec(), rect.center()];
+    let mut prng = SimRng::new(seed ^ 0x1234);
+    for _ in 0..10 {
+        let p: Vec<f64> = (0..dims)
+            .map(|d| rect.lo()[d] + prng.f64() * (rect.hi()[d] - rect.lo()[d]))
+            .collect();
+        probes.push(p);
+    }
+    for p in probes {
+        let key = rot.to_ring(grid.hash(&p));
+        let owner = ring.owner_of(ChordId(key)).addr.0;
+        prop_assert!(
+            answers
+                .iter()
+                .any(|(n, r)| *n == owner && r.contains_point(&p)),
+            "probe {p:?} (owner {owner}) uncovered with shortcut caches; \
+             {} answers, {msgs} msgs",
+            answers.len()
+        );
+    }
+    // Termination budget: a stale hit costs at most one detour hop per
+    // fragment, so the bound is the plain-routing one plus slack.
+    prop_assert!(
+        msgs <= n_nodes * 60 + 400,
+        "{msgs} messages for {n_nodes} nodes with shortcut caches"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Adversarially wrong shortcut caches can cost hops, never answers.
+    #[test]
+    fn stale_shortcuts_never_lose_coverage(
+        seed in 0u64..10_000,
+        n_nodes in 2usize..32,
+        a in prop::collection::vec(0.0f64..64.0, 2),
+        b in prop::collection::vec(0.0f64..64.0, 2),
+        start in 0usize..32,
+        n_shortcuts in 0usize..12,
+    ) {
+        check_shortcut_world(n_nodes, seed, a, b, start, n_shortcuts)?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// System-level scenarios: shared workload builder.
+
+struct HotScenario {
+    queries: Vec<QuerySpec>,
+    origins: Vec<usize>,
+    spec: IndexSpec,
+    oracle: Arc<dyn QueryDistance>,
+    /// The mapped index points of the base query centers, for picking
+    /// owners to crash.
+    base_points: Vec<Vec<f64>>,
+}
+
+/// A small clustered dataset and a hot workload: `base` distinct
+/// queries, each repeated `rounds` times from a fixed per-query origin.
+fn hot_scenario(seed: u64, base: usize, rounds: usize) -> HotScenario {
+    let data = ClusteredVectors::generate(
+        ClusteredParams {
+            dims: 8,
+            clusters: 4,
+            deviation: 8.0,
+            n_objects: 600,
+            ..ClusteredParams::default()
+        },
+        seed,
+    );
+    let metric = L2::bounded(8, 0.0, 100.0);
+    let mut rng = SimRng::new(seed);
+    let sample: Vec<Vec<f32>> = rng
+        .sample_indices(data.objects.len(), 120)
+        .into_iter()
+        .map(|i| data.objects[i].clone())
+        .collect();
+    let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 4, 8, &mut rng);
+    let mapper = Mapper::new(metric, landmarks);
+    let points = mapper.map_all::<[f32], _>(&data.objects);
+    let base_qpoints = data.queries(base, seed ^ 7);
+    let radius = 0.06 * data.max_distance();
+    let qpoints: Vec<Vec<f32>> = (0..base * rounds)
+        .map(|i| base_qpoints[i % base].clone())
+        .collect();
+    let queries: Vec<QuerySpec> = qpoints
+        .iter()
+        .map(|q| QuerySpec {
+            index: 0,
+            point: mapper.map(q.as_slice()).into_vec(),
+            radius,
+            truth: data
+                .objects
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| L2::new().distance(q.as_slice(), o.as_slice()) <= radius)
+                .map(|(i, _)| ObjectId(i as u32))
+                .collect(),
+        })
+        .collect();
+    let base_points = (0..base)
+        .map(|i| queries[i].point.clone())
+        .collect::<Vec<_>>();
+    let objects = Arc::new(data.objects.clone());
+    let qp = Arc::new(qpoints);
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        L2::new().distance(
+            qp[qid as usize].as_slice(),
+            objects[obj.0 as usize].as_slice(),
+        )
+    });
+    let metric = L2::bounded(8, 0.0, 100.0);
+    HotScenario {
+        queries,
+        origins: (0..base).map(|i| 3 + 5 * i).collect(),
+        spec: IndexSpec {
+            name: "hot".into(),
+            boundary: boundary_from_metric(&metric, 4).unwrap().dims,
+            points,
+            rotate: true,
+        },
+        oracle,
+        base_points,
+    }
+}
+
+/// Equality runs stay fault-free (no resilience → identical base wire
+/// protocol); the churn run below builds its own resilient system.
+fn build_system(sc: &HotScenario, routing_opt: Option<RoutingOptConfig>) -> SearchSystem {
+    SearchSystem::build(
+        SystemConfig {
+            n_nodes: 32,
+            seed: 9001,
+            knn_k: 200,
+            routing_opt,
+            ..SystemConfig::default()
+        },
+        std::slice::from_ref(&sc.spec),
+        Arc::clone(&sc.oracle),
+    )
+}
+
+/// On a frozen, fault-free ring the optimization layer is answer-
+/// transparent: identical merged results, identical recall, for every
+/// query of a hot workload — whether an answer came from the result
+/// cache, a shortcut route, or a coalesced batch.
+#[test]
+fn result_cache_hit_equals_uncached_answer_on_frozen_ring() {
+    let sc = hot_scenario(4242, 3, 4);
+    let run = |opt: Option<RoutingOptConfig>| -> Vec<QueryOutcome> {
+        let mut system = build_system(&sc, opt);
+        system.run_queries_from(&sc.queries, &sc.origins, 5.0)
+    };
+    let plain = run(None);
+    let cached = run(Some(RoutingOptConfig::default()));
+    assert_eq!(plain.len(), cached.len());
+    let mut cache_answered = 0;
+    for (p, c) in plain.iter().zip(&cached) {
+        assert_eq!(
+            p.results, c.results,
+            "query {} merged results diverge under the optimization layer",
+            p.qid
+        );
+        assert_eq!(p.recall, c.recall, "query {} recall diverges", p.qid);
+        assert!((p.recall - 1.0).abs() < 1e-12, "workload must be solvable");
+        if c.hops == 0 && p.hops > 0 {
+            cache_answered += 1;
+        }
+    }
+    assert!(
+        cache_answered > 0,
+        "hot repeats never hit the result cache — the equality above \
+         would be vacuous"
+    );
+}
+
+/// Crash a node the origins demonstrably learned routes to, half-way
+/// through the hot workload: the suspicion signal must invalidate the
+/// learned shortcuts (observable in telemetry) and recall must stay
+/// 1.0 through replica failover. The result cache is disabled so the
+/// repeats actually re-route instead of answering locally.
+#[test]
+fn shortcut_invalidation_under_churn_keeps_recall() {
+    let sc = hot_scenario(5555, 3, 4);
+    let opt = RoutingOptConfig {
+        result_cache: false,
+        ..RoutingOptConfig::default()
+    };
+    let mut system = SearchSystem::build(
+        SystemConfig {
+            n_nodes: 32,
+            seed: 9002,
+            knn_k: 200,
+            routing_opt: Some(opt),
+            resilience: Some(ResilienceConfig::default()), // r = 2
+            ..SystemConfig::default()
+        },
+        std::slice::from_ref(&sc.spec),
+        Arc::clone(&sc.oracle),
+    );
+    // The owner of query 0's center key answers every round, so its
+    // arc is learned by query 0's origin. Crash it between rounds.
+    let victim = system.owner_of_point(0, &sc.base_points[0]);
+    assert!(
+        !sc.origins.contains(&victim.0),
+        "victim must not be an issuing origin"
+    );
+    system.schedule_crash(SimTime::from_secs_f64(28.0), victim);
+    let outcomes = system.run_queries_from(&sc.queries, &sc.origins, 5.0);
+    for o in &outcomes {
+        assert!(
+            (o.recall - 1.0).abs() < 1e-12,
+            "query {} recall {} after crashing a learned owner",
+            o.qid,
+            o.recall
+        );
+    }
+    let snap = system.telemetry_json();
+    for key in ["\"cache.hits\"", "\"cache.invalidations\""] {
+        assert!(snap.contains(key), "churned cache snapshot lacks {key}");
+    }
+}

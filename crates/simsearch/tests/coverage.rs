@@ -91,6 +91,7 @@ fn check_world(
         hops: 0,
         origin: AgentId(0),
         ball: None,
+        shortcut: false,
     };
     let (answers, msgs) = resolve(&tables, &grid, rot, start % n_nodes, sq);
 
@@ -204,6 +205,7 @@ fn zero_radius_query_is_a_single_point_lookup() {
             hops: 0,
             origin: AgentId(0),
             ball: None,
+            shortcut: false,
         };
         let start = (seed as usize) % 12;
         let (answers, _) = resolve(&tables, &grid, Rotation::IDENTITY, start, sq);
@@ -230,6 +232,7 @@ fn single_node_world_answers_locally() {
         hops: 0,
         origin: AgentId(0),
         ball: None,
+        shortcut: false,
     };
     let (answers, msgs) = resolve(&tables, &grid, Rotation::IDENTITY, 0, sq);
     assert_eq!(msgs, 0, "one node: zero network messages");
