@@ -342,6 +342,15 @@ fn main() {
     );
 
     if smoke {
+        // Persist the measured counters before any threshold exit so CI
+        // can attach them to a failed run.
+        bench::report::save_json(
+            "BENCH_micro_smoke",
+            &serde_json::json!({
+                "e2e_64node": counters,
+                "cache_64node": cache,
+            }),
+        );
         check_thresholds(&counters);
         check_cache_thresholds(&cache);
         return;

@@ -15,6 +15,7 @@
 pub mod micro_report;
 pub mod report;
 pub mod scale;
+pub mod scale_report;
 pub mod synth;
 pub mod trec;
 

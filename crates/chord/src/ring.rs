@@ -160,15 +160,27 @@ impl OracleRing {
     }
 
     /// Build stabilized tables for every node, in agent-address order.
+    ///
+    /// Tables build in parallel: each is a pure function of the
+    /// (immutable) membership and topology, so fan-out changes nothing
+    /// about the result — the same tables come back on one core or
+    /// sixteen. This is the "instant ring" that makes a stabilized 100k
+    /// node overlay constructible in seconds where sequential
+    /// join/stabilize would take simulated hours.
     pub fn build_all_tables(
         &self,
         n_successors: usize,
         topo: Option<&Topology>,
         pns_candidates: usize,
     ) -> Vec<RoutingTable> {
+        use rayon::prelude::*;
+        let indices: Vec<usize> = (0..self.nodes.len()).collect();
+        let tables: Vec<RoutingTable> = indices
+            .par_iter()
+            .map(|&i| self.build_table(i, n_successors, topo, pns_candidates))
+            .collect();
         let mut by_addr: Vec<Option<RoutingTable>> = vec![None; self.nodes.len()];
-        for i in 0..self.nodes.len() {
-            let t = self.build_table(i, n_successors, topo, pns_candidates);
+        for t in tables {
             let addr = t.me().addr.0;
             by_addr[addr] = Some(t);
         }

@@ -343,7 +343,9 @@ impl<A: Agent> Sim<A> {
 
     /// Aggregate network counters.
     pub fn stats(&self) -> NetStats {
-        self.core.stats
+        let mut stats = self.core.stats;
+        stats.peak_queue = self.core.queue.peak_len() as u64;
+        stats
     }
 
     /// The latency model.

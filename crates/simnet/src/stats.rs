@@ -29,6 +29,10 @@ pub struct NetStats {
     pub crashes: u64,
     /// Restart events fired.
     pub restarts: u64,
+    /// Most events simultaneously queued at any point in the run — the
+    /// working-set size the event queue had to hold, which at scale is
+    /// the simulator's dominant memory driver.
+    pub peak_queue: u64,
 }
 
 impl NetStats {

@@ -137,8 +137,9 @@ impl SearchSystem {
         let mut query_bytes = 0;
         let mut result_bytes = 0;
         for node in self.sim.agents() {
-            query_bytes += node.query_bytes_sent.get(&qid).copied().unwrap_or(0);
-            result_bytes += node.result_bytes_sent.get(&qid).copied().unwrap_or(0);
+            let row = node.costs.row(qid);
+            query_bytes += row.query_bytes;
+            result_bytes += row.result_bytes;
         }
         KnnOutcome {
             results,

@@ -101,6 +101,76 @@ struct AnswerCore {
     cache_pts: Option<Vec<(ObjectId, Box<[f64]>)>>,
 }
 
+/// One query's send-cost attribution at a node.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CostRow {
+    /// Query-delivery bytes this node sent for the query.
+    pub query_bytes: u64,
+    /// Result bytes this node sent for the query.
+    pub result_bytes: u64,
+    /// Query-delivery messages this node sent for the query.
+    pub query_msgs: u32,
+}
+
+impl CostRow {
+    fn is_zero(&self) -> bool {
+        *self == CostRow::default()
+    }
+}
+
+/// Per-query send-cost ledger, dense in the query id.
+///
+/// Query ids are assigned sequentially by the workload driver, so a
+/// plain vector indexed by id replaces what used to be three hash maps —
+/// the per-send cost attribution is on the message hot path, where at
+/// 100k nodes hashing was measurable and a bounds-checked index is not.
+/// Rows exist from the highest id this node ever touched downward;
+/// untouched ids read as zero.
+#[derive(Default)]
+pub struct CostLedger {
+    rows: Vec<CostRow>,
+}
+
+impl CostLedger {
+    /// Mutable row for `qid`, growing the ledger on first touch.
+    #[inline]
+    pub fn row_mut(&mut self, qid: QueryId) -> &mut CostRow {
+        let i = qid as usize;
+        if i >= self.rows.len() {
+            self.rows.resize(i + 1, CostRow::default());
+        }
+        &mut self.rows[i]
+    }
+
+    /// The row for `qid` (zero if never touched).
+    #[inline]
+    pub fn row(&self, qid: QueryId) -> CostRow {
+        self.rows.get(qid as usize).copied().unwrap_or_default()
+    }
+
+    /// Iterate `(qid, row)` over rows with any nonzero counter.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (QueryId, CostRow)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_zero())
+            .map(|(i, r)| (i as QueryId, *r))
+    }
+
+    /// Total bytes (query + result) across all queries.
+    pub fn total_bytes(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.query_bytes + r.result_bytes)
+            .sum()
+    }
+
+    /// Total query-delivery messages across all queries.
+    pub fn total_query_msgs(&self) -> u32 {
+        self.rows.iter().map(|r| r.query_msgs).sum()
+    }
+}
+
 /// An unacknowledged cross-host message awaiting its retransmit timer.
 struct PendingSend {
     /// Destination address.
@@ -135,12 +205,8 @@ pub struct SearchNode {
     pub naive_level: Option<u32>,
     /// Queries this node originated.
     pub issued: HashMap<QueryId, IssuedQuery>,
-    /// Query-delivery bytes this node sent, per query.
-    pub query_bytes_sent: HashMap<QueryId, u64>,
-    /// Result bytes this node sent, per query.
-    pub result_bytes_sent: HashMap<QueryId, u64>,
-    /// Query-delivery messages this node sent, per query.
-    pub query_msgs_sent: HashMap<QueryId, u32>,
+    /// Per-query send-cost attribution (dense in the query id).
+    pub costs: CostLedger,
     /// `(hops, stored-at)` of publications that completed at this node
     /// as the owner.
     pub publishes_stored: Vec<(u32, metric::ObjectId)>,
@@ -191,9 +257,7 @@ impl SearchNode {
             knn_k,
             naive_level,
             issued: HashMap::new(),
-            query_bytes_sent: HashMap::new(),
-            result_bytes_sent: HashMap::new(),
-            query_msgs_sent: HashMap::new(),
+            costs: CostLedger::default(),
             publishes_stored: Vec::new(),
             telemetry: None,
             resilience: None,
@@ -527,12 +591,12 @@ impl SearchNode {
             let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
             if let SearchMsg::Route(ref subs) = msg {
                 for s in subs {
-                    *self.query_msgs_sent.entry(s.qid).or_default() += 1;
+                    self.costs.row_mut(s.qid).query_msgs += 1;
                 }
                 // Attribute the batch's bytes to its first query (batches
                 // are single-query in practice: queries are independent).
                 let qid = subs[0].qid;
-                *self.query_bytes_sent.entry(qid).or_default() += bytes as u64;
+                self.costs.row_mut(qid).query_bytes += bytes as u64;
                 if let Some(tel) = &self.telemetry {
                     tel.record(
                         qid,
@@ -570,10 +634,10 @@ impl SearchNode {
                 let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
                 if let SearchMsg::RefineBatch(ref subs) = msg {
                     for s in subs {
-                        *self.query_msgs_sent.entry(s.qid).or_default() += 1;
+                        self.costs.row_mut(s.qid).query_msgs += 1;
                     }
                     let qid = subs[0].qid;
-                    *self.query_bytes_sent.entry(qid).or_default() += bytes as u64;
+                    self.costs.row_mut(qid).query_bytes += bytes as u64;
                     if let Some(tel) = &self.telemetry {
                         tel.record(
                             qid,
@@ -610,7 +674,7 @@ impl SearchNode {
                 if let SearchMsg::ResultsOpt { ref items } = msg {
                     // answer_item attributed each item's bytes; the
                     // shared header goes to the first item's query.
-                    *self.result_bytes_sent.entry(items[0].qid).or_default() += 20;
+                    self.costs.row_mut(items[0].qid).result_bytes += 20;
                     if let Some(tel) = &self.telemetry {
                         tel.incr("search.msgs.results", 1);
                         tel.incr("search.bytes.results", bytes as u64);
@@ -633,8 +697,8 @@ impl SearchNode {
         let qid = sq.qid;
         let msg = SearchMsg::Refine(sq);
         let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
-        *self.query_bytes_sent.entry(qid).or_default() += bytes as u64;
-        *self.query_msgs_sent.entry(qid).or_default() += 1;
+        self.costs.row_mut(qid).query_bytes += bytes as u64;
+        self.costs.row_mut(qid).query_msgs += 1;
         if let Some(tel) = &self.telemetry {
             tel.record(
                 qid,
@@ -672,7 +736,7 @@ impl SearchNode {
             degraded,
         };
         let bytes = msg_bytes(&msg, |i| self.k_of(i));
-        *self.result_bytes_sent.entry(qid).or_default() += bytes as u64;
+        self.costs.row_mut(qid).result_bytes += bytes as u64;
         if let Some(tel) = &self.telemetry {
             tel.record(
                 qid,
@@ -775,7 +839,7 @@ impl SearchNode {
             item.cached.as_ref().map(|c| c.len()),
             self.k_of(index),
         );
-        *self.result_bytes_sent.entry(qid).or_default() += bytes as u64;
+        self.costs.row_mut(qid).result_bytes += bytes as u64;
         if let Some(tel) = &self.telemetry {
             tel.record(
                 qid,
@@ -1561,12 +1625,7 @@ mod tests {
             issue(Rect::new(vec![0.0], vec![8.0]), &grid, 0),
         );
         sim.run();
-        let total: u64 = sim
-            .agents()
-            .map(|n| {
-                n.query_bytes_sent.values().sum::<u64>() + n.result_bytes_sent.values().sum::<u64>()
-            })
-            .sum();
+        let total: u64 = sim.agents().map(|n| n.costs.total_bytes()).sum();
         // Self-sends (origin answering itself) carry no network bytes in
         // sim stats but are attributed in node accounting; so node totals
         // >= wire totals, and both are nonzero here.
@@ -1640,14 +1699,8 @@ mod tests {
             .collect();
         assert_eq!(fast, naive, "naive and embedded-tree answers must agree");
         // The naive router sends at least as many query messages.
-        let fast_msgs: u32 = sim_fast
-            .agents()
-            .map(|n| n.query_msgs_sent.values().sum::<u32>())
-            .sum();
-        let naive_msgs: u32 = sim_naive
-            .agents()
-            .map(|n| n.query_msgs_sent.values().sum::<u32>())
-            .sum();
+        let fast_msgs: u32 = sim_fast.agents().map(|n| n.costs.total_query_msgs()).sum();
+        let naive_msgs: u32 = sim_naive.agents().map(|n| n.costs.total_query_msgs()).sum();
         assert!(
             naive_msgs >= fast_msgs,
             "naive {naive_msgs} < fast {fast_msgs}"

@@ -257,8 +257,9 @@ impl SearchSystem {
         );
 
         let n = self.cfg.n_nodes;
-        let topo =
-            simnet::Topology::king_like(n, self.cfg.seed ^ 0x7070_7070, self.cfg.mean_rtt_ms);
+        // Same representation selection as `SearchSystem::build`, so the
+        // protocol sim sees the identical latency draws the system did.
+        let topo = crate::system::build_topology(&self.cfg);
         let proto_cfg = ChordConfig {
             n_successors: self.cfg.n_successors,
             pns_candidates: self.cfg.pns_candidates,

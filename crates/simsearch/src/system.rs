@@ -15,7 +15,7 @@ use simnet::{AgentId, Sim, SimRng, SimTime, Topology};
 use crate::cache::RoutingOptConfig;
 use crate::load::{self, LoadBalanceReport};
 use crate::msg::{DistanceOracle, QueryBall, QueryId, SearchMsg, SubQueryMsg};
-use crate::node::{IndexState, SearchNode};
+use crate::node::{IndexState, IssuedQuery, SearchNode};
 use crate::overlay::{Overlay, OverlayKind};
 use crate::resilience::ResilienceConfig;
 use crate::store::{Entry, Store};
@@ -145,6 +145,26 @@ pub struct QueryOutcome {
     pub degraded: bool,
 }
 
+/// Largest population that still gets the dense (exact, O(n²)-memory)
+/// latency matrix. Every historical experiment and golden runs at or
+/// below this size, so their RTT draws — and therefore their telemetry
+/// bytes — are untouched; above it the O(n)-memory coordinate
+/// representation takes over (8 GB of matrix at 32k nodes would
+/// otherwise dwarf the simulation itself).
+pub(crate) const DENSE_TOPOLOGY_MAX_NODES: usize = 2048;
+
+/// The latency model for a system of `cfg.n_nodes` hosts: dense matrix
+/// at historical sizes, coordinate-based above (see
+/// [`DENSE_TOPOLOGY_MAX_NODES`]).
+pub(crate) fn build_topology(cfg: &SystemConfig) -> Topology {
+    let seed = cfg.seed ^ 0x7070_7070;
+    if cfg.n_nodes <= DENSE_TOPOLOGY_MAX_NODES {
+        Topology::king_like(cfg.n_nodes, seed, cfg.mean_rtt_ms)
+    } else {
+        Topology::king_like_scalable(cfg.n_nodes, seed, cfg.mean_rtt_ms)
+    }
+}
+
 /// A built, publishable, queryable system.
 pub struct SearchSystem {
     pub(crate) sim: Sim<SearchNode>,
@@ -168,7 +188,7 @@ impl SearchSystem {
         assert!(!specs.is_empty(), "at least one index required");
         assert!(specs.len() <= u8::MAX as usize, "too many indexes");
         let root = SimRng::new(cfg.seed);
-        let topo = Topology::king_like(cfg.n_nodes, cfg.seed ^ 0x7070_7070, cfg.mean_rtt_ms);
+        let topo = build_topology(&cfg);
         let mut ring_rng = root.fork(0x0126);
 
         let grids: Vec<Arc<Grid>> = specs
@@ -632,29 +652,26 @@ impl SearchSystem {
     }
 
     fn collect(&self, queries: &[QuerySpec]) -> Vec<QueryOutcome> {
-        // Bandwidth/message attribution is summed over every node.
+        // One pass over the population folds both the per-query cost
+        // attribution and the origin records — at 100k nodes a per-query
+        // scan for its origin would dominate everything else here.
         let mut query_bytes = vec![0u64; queries.len()];
         let mut result_bytes = vec![0u64; queries.len()];
         let mut query_msgs = vec![0u32; queries.len()];
-        for node in self.sim.agents() {
-            for (&qid, &b) in &node.query_bytes_sent {
-                query_bytes[qid as usize] += b;
+        let mut issued_at: Vec<Option<(usize, &IssuedQuery)>> = vec![None; queries.len()];
+        for (addr, node) in self.sim.agents().enumerate() {
+            for (qid, row) in node.costs.iter_nonzero() {
+                query_bytes[qid as usize] += row.query_bytes;
+                result_bytes[qid as usize] += row.result_bytes;
+                query_msgs[qid as usize] += row.query_msgs;
             }
-            for (&qid, &b) in &node.result_bytes_sent {
-                result_bytes[qid as usize] += b;
-            }
-            for (&qid, &m) in &node.query_msgs_sent {
-                query_msgs[qid as usize] += m;
+            for (&qid, iq) in &node.issued {
+                issued_at[qid as usize] = Some((addr, iq));
             }
         }
         let mut out = Vec::with_capacity(queries.len());
         for (qid, q) in queries.iter().enumerate() {
-            let (origin, iq) = self
-                .sim
-                .agents()
-                .enumerate()
-                .find_map(|(addr, n)| n.issued.get(&(qid as QueryId)).map(|iq| (addr, iq)))
-                .expect("query was issued");
+            let (origin, iq) = issued_at[qid].expect("query was issued");
             let issued = iq.issued_at;
             let response_ms = iq
                 .first_result
