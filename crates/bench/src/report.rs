@@ -193,6 +193,7 @@ mod tests {
             results: vec![],
             recall,
             degraded: false,
+            completed: true,
         };
         let row = Row::from_outcomes("X", 0.05, &[mk(1.0, 4), mk(0.5, 8)]);
         assert_eq!(row.recall, 0.75);

@@ -1,0 +1,29 @@
+//! Two independent regenerations of a capacity sweep must serialize
+//! byte-identically.
+//!
+//! This pins the whole sustained-load stack at once: the pre-drawn
+//! operation plan (arrival gaps, Zipf pool picks, origins), the
+//! finite-capacity serve-slot order, the retransmit/failover timers of
+//! the fault scenario, the latency ledger's exactly-once accounting,
+//! and the capacity ladder's probe sequence — everything except the
+//! wall-clock/RSS `timing` block, which is excluded from
+//! `deterministic_json` by construction. A short ladder (one doubling,
+//! one refinement) keeps the double regeneration cheap while still
+//! serializing every field the checked-in `BENCH_load.json` carries.
+
+use bench::load_report::{run_load_report, LoadFixture};
+
+#[test]
+fn capacity_sweep_regenerates_byte_identically() {
+    let regenerate = || {
+        let fixture = LoadFixture::quick(0x10AD5EED);
+        let report = run_load_report(&fixture, 64, 6.0, 10.0, 1, 1, 0x10AD5EED);
+        serde_json::to_string_pretty(&report.deterministic_json()).expect("serialize")
+    };
+    let a = regenerate();
+    let b = regenerate();
+    assert!(
+        a == b,
+        "two capacity-sweep regenerations diverged:\n{a}\nvs\n{b}"
+    );
+}

@@ -54,6 +54,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod loadgen;
 pub mod rng;
 pub mod sim;
 pub mod stats;
@@ -63,6 +64,7 @@ pub mod topology;
 
 pub use event::TimerTag;
 pub use fault::{FaultPlane, PartitionWindow};
+pub use loadgen::{ArrivalProcess, LatencyLedger, RampPhase};
 pub use rng::SimRng;
 pub use sim::{Agent, AgentId, Ctx, Sim};
 pub use stats::NetStats;

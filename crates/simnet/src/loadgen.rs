@@ -1,0 +1,412 @@
+//! Arrival processes and per-query latency accounting for
+//! sustained-load experiments.
+//!
+//! Batch experiments ask "what did this workload cost"; load experiments
+//! ask "what rate can the system sustain". The two building blocks here
+//! are deliberately protocol-agnostic so any experiment crate can drive
+//! them:
+//!
+//! * [`ArrivalProcess`] — a deterministic generator of inter-arrival
+//!   gaps (open-loop Poisson or fixed-rate), optionally shaped by
+//!   [`RampPhase`] schedules.
+//! * [`LatencyLedger`] — per-query issue/completion/timeout accounting
+//!   with an *exactly-once* completion guarantee. The ledger is where
+//!   the `issued == completions + timeouts` invariant lives: a query
+//!   answered late (e.g. by a replica after retransmit exhaustion) must
+//!   record one completion latency, never zero and never two.
+//!
+//! Percentiles are exact (nearest-rank over the recorded samples, via
+//! O(n) selection), not bucket-approximated; the coarse power-of-two
+//! [`crate::telemetry::Histogram`] view is available for telemetry
+//! snapshots where byte-stable JSON matters more than resolution.
+
+use crate::rng::SimRng;
+use crate::telemetry::Histogram;
+use crate::time::{SimDuration, SimTime};
+
+/// How query arrivals are spaced in an open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponentially distributed gaps with the given
+    /// mean. The memoryless choice — bursts and lulls arise naturally,
+    /// which is what makes open-loop p99 honest.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean: SimDuration,
+    },
+    /// Deterministic arrivals: every gap exactly this long. Useful to
+    /// separate queueing effects from arrival burstiness.
+    FixedRate {
+        /// The constant inter-arrival gap.
+        interval: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `qps` queries per simulated second.
+    pub fn poisson_qps(qps: f64) -> ArrivalProcess {
+        assert!(qps.is_finite() && qps > 0.0, "qps must be positive");
+        ArrivalProcess::Poisson {
+            mean: SimDuration::from_secs_f64(1.0 / qps),
+        }
+    }
+
+    /// Fixed-rate arrivals at `qps` queries per simulated second.
+    pub fn fixed_qps(qps: f64) -> ArrivalProcess {
+        assert!(qps.is_finite() && qps > 0.0, "qps must be positive");
+        ArrivalProcess::FixedRate {
+            interval: SimDuration::from_secs_f64(1.0 / qps),
+        }
+    }
+
+    /// The mean inter-arrival gap (the inverse offered rate).
+    pub fn mean_gap(&self) -> SimDuration {
+        match *self {
+            ArrivalProcess::Poisson { mean } => mean,
+            ArrivalProcess::FixedRate { interval } => interval,
+        }
+    }
+
+    /// Draw the next inter-arrival gap, scaled by `rate_scale` (a ramp
+    /// multiplier: 2.0 means twice the rate, i.e. half the gap). Gaps
+    /// are clamped to at least one nanosecond so arrival times strictly
+    /// advance.
+    pub fn next_gap(&self, rng: &mut SimRng, rate_scale: f64) -> SimDuration {
+        debug_assert!(rate_scale.is_finite() && rate_scale > 0.0);
+        let ns = match *self {
+            ArrivalProcess::Poisson { mean } => rng.exponential(mean.0 as f64),
+            ArrivalProcess::FixedRate { interval } => interval.0 as f64,
+        };
+        SimDuration(((ns / rate_scale).round() as u64).max(1))
+    }
+}
+
+/// One phase of a load ramp: for `duration` of simulated time the
+/// offered rate is the process's base rate times `rate_scale`. After
+/// the last phase the scale stays at the final phase's value (an empty
+/// schedule means a flat 1.0 the whole run).
+#[derive(Clone, Copy, Debug)]
+pub struct RampPhase {
+    /// How long this phase lasts.
+    pub duration: SimDuration,
+    /// Rate multiplier during the phase.
+    pub rate_scale: f64,
+}
+
+/// The rate multiplier in effect at `elapsed` time into a ramp
+/// schedule. Empty schedules and time past the last phase both yield
+/// the final (or unit) scale.
+pub fn ramp_scale_at(phases: &[RampPhase], elapsed: SimDuration) -> f64 {
+    let mut t = SimDuration::ZERO;
+    for p in phases {
+        t += p.duration;
+        if elapsed < t {
+            return p.rate_scale;
+        }
+    }
+    phases.last().map_or(1.0, |p| p.rate_scale)
+}
+
+/// Lifecycle of one tracked query in the [`LatencyLedger`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum QueryState {
+    InFlight { issued_at: SimTime },
+    Completed,
+    TimedOut,
+}
+
+/// Per-query latency accounting with an exactly-once completion
+/// guarantee.
+///
+/// Queries are keyed by dense ids (the driver assigns `0..n`). The
+/// ledger enforces the state machine *issued → completed | timed-out*:
+/// a second completion for the same query is rejected and counted in
+/// [`LatencyLedger::duplicate_completions`], a completion after a
+/// timeout is rejected likewise, and [`LatencyLedger::invariant_holds`]
+/// checks `issued == completions + timeouts + in_flight` at any point.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyLedger {
+    states: Vec<Option<QueryState>>,
+    /// Completion latencies in microseconds, in completion order.
+    latencies_us: Vec<u64>,
+    issued: u64,
+    completions: u64,
+    timeouts: u64,
+    duplicate_completions: u64,
+}
+
+impl LatencyLedger {
+    /// An empty ledger.
+    pub fn new() -> LatencyLedger {
+        LatencyLedger::default()
+    }
+
+    /// Record that query `qid` was issued at `at`. Returns `false` (and
+    /// records nothing) if the id was already issued.
+    pub fn issue(&mut self, qid: usize, at: SimTime) -> bool {
+        if self.states.len() <= qid {
+            self.states.resize(qid + 1, None);
+        }
+        if self.states[qid].is_some() {
+            return false;
+        }
+        self.states[qid] = Some(QueryState::InFlight { issued_at: at });
+        self.issued += 1;
+        true
+    }
+
+    /// Record the completion of query `qid` at `at`. Exactly-once: the
+    /// first completion records `at - issued_at` and returns `true`;
+    /// anything else — unknown id, never issued, already completed
+    /// (counted in [`Self::duplicate_completions`]), already timed out —
+    /// records nothing and returns `false`.
+    pub fn complete(&mut self, qid: usize, at: SimTime) -> bool {
+        match self.states.get(qid).copied().flatten() {
+            Some(QueryState::InFlight { issued_at }) => {
+                self.states[qid] = Some(QueryState::Completed);
+                self.latencies_us.push(at.since(issued_at).0 / 1_000);
+                self.completions += 1;
+                true
+            }
+            Some(QueryState::Completed) => {
+                self.duplicate_completions += 1;
+                false
+            }
+            Some(QueryState::TimedOut) | None => false,
+        }
+    }
+
+    /// Record that query `qid` timed out (no completion by its
+    /// deadline). Returns `false` if it was not in flight.
+    pub fn timeout(&mut self, qid: usize) -> bool {
+        match self.states.get(qid).copied().flatten() {
+            Some(QueryState::InFlight { .. }) => {
+                self.states[qid] = Some(QueryState::TimedOut);
+                self.timeouts += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// When query `qid` is still in flight, the time it was issued.
+    pub fn in_flight_since(&self, qid: usize) -> Option<SimTime> {
+        match self.states.get(qid).copied().flatten() {
+            Some(QueryState::InFlight { issued_at }) => Some(issued_at),
+            _ => None,
+        }
+    }
+
+    /// Queries issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Queries that recorded a completion latency.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Queries that timed out.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Queries still in flight (issued, neither completed nor timed out).
+    pub fn in_flight(&self) -> u64 {
+        self.issued - self.completions - self.timeouts
+    }
+
+    /// Rejected second completions — must stay 0 in a correct driver.
+    pub fn duplicate_completions(&self) -> u64 {
+        self.duplicate_completions
+    }
+
+    /// The accounting invariant every load run must satisfy.
+    pub fn invariant_holds(&self) -> bool {
+        self.issued == self.completions + self.timeouts + self.in_flight()
+    }
+
+    /// Completion latencies in microseconds, in completion order.
+    pub fn latencies_us(&self) -> &[u64] {
+        &self.latencies_us
+    }
+
+    /// Exact nearest-rank percentile of the completion latencies, in
+    /// microseconds (`None` when no query completed). `pct` is in
+    /// `[0, 100]`. Uses O(n) selection, *not* the power-of-two telemetry
+    /// buckets — the proptest below pins it to a sorted-vec oracle.
+    pub fn percentile_us(&self, pct: f64) -> Option<u64> {
+        percentile_of(&self.latencies_us, pct)
+    }
+
+    /// Mean completion latency in microseconds (`None` when empty).
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.latencies_us.is_empty() {
+            None
+        } else {
+            Some(self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64)
+        }
+    }
+
+    /// The coarse power-of-two histogram of the completion latencies,
+    /// for byte-stable telemetry snapshots.
+    pub fn histogram_us(&self) -> Histogram {
+        crate::telemetry::histogram_of(self.latencies_us.iter().copied())
+    }
+}
+
+/// Exact nearest-rank percentile of `samples` via O(n) selection:
+/// the element a full sort would place at index
+/// `round(pct/100 * (len-1))`. `None` on an empty slice.
+pub fn percentile_of(samples: &[u64], pct: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+    let idx = ((pct / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    let mut scratch = samples.to_vec();
+    let (_, nth, _) = scratch.select_nth_unstable(idx);
+    Some(*nth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gaps_have_the_configured_mean() {
+        let p = ArrivalProcess::poisson_qps(100.0); // mean gap 10 ms
+        let mut rng = SimRng::new(7);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut rng, 1.0).0).sum();
+        let mean_ms = total as f64 / n as f64 / 1e6;
+        assert!((mean_ms - 10.0).abs() < 0.3, "mean gap {mean_ms} ms");
+    }
+
+    #[test]
+    fn fixed_rate_gaps_are_constant_and_scale() {
+        let p = ArrivalProcess::fixed_qps(50.0); // 20 ms
+        let mut rng = SimRng::new(7);
+        assert_eq!(p.next_gap(&mut rng, 1.0), SimDuration::from_millis(20));
+        assert_eq!(p.next_gap(&mut rng, 2.0), SimDuration::from_millis(10));
+        assert_eq!(p.next_gap(&mut rng, 0.5), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn ramp_schedule_resolves_phases() {
+        let phases = [
+            RampPhase {
+                duration: SimDuration::from_secs(1),
+                rate_scale: 0.5,
+            },
+            RampPhase {
+                duration: SimDuration::from_secs(2),
+                rate_scale: 1.0,
+            },
+        ];
+        assert_eq!(ramp_scale_at(&phases, SimDuration::ZERO), 0.5);
+        assert_eq!(ramp_scale_at(&phases, SimDuration::from_millis(999)), 0.5);
+        assert_eq!(ramp_scale_at(&phases, SimDuration::from_secs(1)), 1.0);
+        assert_eq!(ramp_scale_at(&phases, SimDuration::from_secs(2)), 1.0);
+        // Past the schedule: final scale holds.
+        assert_eq!(ramp_scale_at(&phases, SimDuration::from_secs(60)), 1.0);
+        // Empty schedule: flat 1.0.
+        assert_eq!(ramp_scale_at(&[], SimDuration::from_secs(60)), 1.0);
+    }
+
+    #[test]
+    fn ledger_records_exactly_one_completion() {
+        let mut l = LatencyLedger::new();
+        assert!(l.issue(0, SimTime(1_000_000)));
+        // Re-issue of the same id is rejected.
+        assert!(!l.issue(0, SimTime(2_000_000)));
+        assert!(l.complete(0, SimTime(4_000_000)));
+        // The replica's second answer must not record a second latency.
+        assert!(!l.complete(0, SimTime(9_000_000)));
+        assert_eq!(l.duplicate_completions(), 1);
+        assert_eq!(l.latencies_us(), &[3_000]);
+        assert_eq!(l.completions(), 1);
+        assert!(l.invariant_holds());
+    }
+
+    #[test]
+    fn timeout_blocks_later_completion() {
+        let mut l = LatencyLedger::new();
+        l.issue(3, SimTime(0));
+        assert!(l.timeout(3));
+        // A straggler result after the deadline records nothing.
+        assert!(!l.complete(3, SimTime(5_000_000)));
+        assert_eq!((l.completions(), l.timeouts()), (0, 1));
+        assert_eq!(l.duplicate_completions(), 0);
+        assert!(l.invariant_holds());
+        // Completing or timing out an unissued id is rejected.
+        assert!(!l.complete(99, SimTime(1)));
+        assert!(!l.timeout(99));
+    }
+
+    #[test]
+    fn invariant_tracks_in_flight() {
+        let mut l = LatencyLedger::new();
+        for q in 0..10 {
+            l.issue(q, SimTime(q as u64));
+        }
+        for q in 0..4 {
+            l.complete(q, SimTime(1_000_000));
+        }
+        l.timeout(4);
+        assert_eq!(l.in_flight(), 5);
+        assert!(l.invariant_holds());
+    }
+
+    #[test]
+    fn percentile_matches_known_values() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_of(&v, 0.0), Some(1));
+        assert_eq!(percentile_of(&v, 50.0), Some(51)); // round(0.5*99)=50
+        assert_eq!(percentile_of(&v, 100.0), Some(100));
+        assert_eq!(percentile_of(&[], 50.0), None);
+        assert_eq!(percentile_of(&[7], 99.0), Some(7));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The selection-based percentile must agree with the obvious
+        /// oracle — sort, index at the nearest rank — for every sample
+        /// set and percentile.
+        #[test]
+        fn percentile_matches_sorted_vec_oracle(
+            samples in prop::collection::vec(any::<u64>(), 1..200),
+            pct_hundredths in 0u32..=10_000,
+        ) {
+            let pct = pct_hundredths as f64 / 100.0;
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let idx = ((pct / 100.0) * (samples.len() - 1) as f64).round() as usize;
+            prop_assert_eq!(percentile_of(&samples, pct), Some(sorted[idx]));
+        }
+
+        /// Ledger percentiles go through the same path: feed latencies,
+        /// compare p50/p95/p99 against the sorted oracle.
+        #[test]
+        fn ledger_percentiles_match_oracle(
+            lat in prop::collection::vec(0u64..10_000_000, 1..120),
+        ) {
+            let mut l = LatencyLedger::new();
+            for (q, &us) in lat.iter().enumerate() {
+                l.issue(q, SimTime(0));
+                l.complete(q, SimTime(us * 1_000));
+            }
+            let mut sorted = lat.clone();
+            sorted.sort_unstable();
+            for pct in [50.0, 95.0, 99.0] {
+                let idx = ((pct / 100.0) * (lat.len() - 1) as f64).round() as usize;
+                prop_assert_eq!(l.percentile_us(pct), Some(sorted[idx]));
+            }
+            prop_assert!(l.invariant_holds());
+        }
+    }
+}

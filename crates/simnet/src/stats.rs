@@ -33,6 +33,11 @@ pub struct NetStats {
     /// working-set size the event queue had to hold, which at scale is
     /// the simulator's dominant memory driver.
     pub peak_queue: u64,
+    /// Deliveries that had to wait for a busy destination host, counted
+    /// once per waiting delivery (only nonzero under the opt-in
+    /// per-node service model; see `Sim::set_service_time`). A
+    /// high-deferral run is a saturated run.
+    pub deferred: u64,
 }
 
 impl NetStats {

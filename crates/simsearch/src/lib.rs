@@ -45,6 +45,7 @@ pub mod cache;
 pub mod explain;
 pub mod knn;
 pub mod load;
+pub mod loadgen;
 pub mod msg;
 pub mod node;
 pub mod overlay;
@@ -59,8 +60,12 @@ pub mod telemetry;
 pub use cache::{ResultCache, RoutingOptConfig, ShortcutCache};
 pub use explain::{ExplainReport, ExplainStep, StepKind};
 pub use knn::KnnOutcome;
+pub use loadgen::{
+    CapacityResult, CapacityTrial, LoadConfig, LoadMode, LoadOutcome, LoadPlan, LoadPools,
+    PlannedOp, PoolKind, QueryMix, SloSpec,
+};
 pub use msg::{QueryBall, QueryDistance, QueryId, SearchMsg, SubQueryMsg};
-pub use node::SearchNode;
+pub use node::{IssuedQuery, SearchNode};
 pub use overlay::{FailureAware, Overlay, OverlayKind, OverlayTable};
 pub use refresh::ReindexReport;
 pub use resilience::ResilienceConfig;

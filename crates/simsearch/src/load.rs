@@ -87,7 +87,7 @@ pub fn load_aware_ids(entry_keys: &[u64], n_nodes: usize, rng: &mut SimRng) -> V
             .iter()
             .enumerate()
             .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
-            .expect("non-empty");
+            .expect("ids holds at least the bootstrap id, so counts is never empty");
         let mut new_id = None;
         if load >= 2 {
             // Median key of the heavy arc, in offset space from the arc
@@ -312,7 +312,7 @@ pub fn balance_with_telemetry(
             let &victim = candidates
                 .iter()
                 .min_by_key(|&&a| (loads[a], a))
-                .expect("non-empty");
+                .expect("candidates checked non-empty above");
             if victim == h || loads[victim] * 2 >= loads[h] {
                 continue;
             }

@@ -1,0 +1,791 @@
+//! Sustained-load driving: open/closed-loop workload admission, latency
+//! SLOs, and capacity search.
+//!
+//! The batch drivers ([`crate::SearchSystem::run_queries`]) answer "what
+//! did this workload cost"; this module answers "what rate does the
+//! system sustain". The driver admits operations *by arrival time* —
+//! interleaving [`crate::SearchSystem::inject_query`] with
+//! [`crate::SearchSystem::run_until`] so many queries are in flight at
+//! once — and accounts every query in a
+//! [`simnet::LatencyLedger`] with the exactly-once completion guarantee
+//! (`issued == completions + timeouts`, always).
+//!
+//! Two admission modes:
+//!
+//! * **Open loop** — arrivals come from an [`ArrivalProcess`] (Poisson
+//!   or fixed-rate), optionally shaped by [`RampPhase`] schedules,
+//!   regardless of how the system is coping. This is the honest way to
+//!   measure saturation: a slow system does not slow the offered rate.
+//! * **Closed loop** — a fixed population of workers; each issues its
+//!   next operation one think time after its previous query first
+//!   responds. Throughput self-limits at `workers / (latency + think)`.
+//!
+//! The operation mix is Zipf-skewed over pools of range queries, knn
+//! queries, and runtime publishes, so popular queries repeat — which is
+//! both what real workloads do and what makes hot owners saturate first
+//! under the finite-capacity model
+//! ([`crate::SearchSystem::set_service_time`]).
+//!
+//! **Latency-accounting rules** (the ones the ledger enforces):
+//!
+//! 1. A query completes when its *first* result has arrived within the
+//!    deadline; its recorded latency is the time to the *last* result
+//!    received (the full merged answer), clamped to the deadline — the
+//!    driver stops waiting there, so a straggler cannot stretch a
+//!    completed query's latency past it.
+//! 2. A query with no result by `issued + deadline` is a timeout. A
+//!    straggler answer after that records nothing.
+//! 3. Exactly one completion per query: replica re-answers after
+//!    retransmit exhaustion cannot double-record (the ledger rejects
+//!    and counts the attempt).
+//! 4. Publishes are fire-and-forget: they load the network but carry no
+//!    latency SLO.
+//!
+//! [`capacity_search`] then finds the knee: the highest offered QPS
+//! whose run satisfies `p99 <= SLO && error_rate <= SLO` — doubling
+//! until the first failure, then bisecting the bracket.
+
+use rand::distributions::Distribution;
+use rand_distr::Zipf;
+use simnet::loadgen::ramp_scale_at;
+use simnet::{AgentId, ArrivalProcess, LatencyLedger, RampPhase, SimDuration, SimRng, SimTime};
+
+use crate::msg::QueryId;
+use crate::system::{QuerySpec, SearchSystem};
+use metric::ObjectId;
+
+/// Relative weights of the three operation kinds in the workload mix.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryMix {
+    /// Range queries (wide arcs, the paper's §4 workload).
+    pub range: u32,
+    /// k-nearest-neighbor queries (padded-radius top-k).
+    pub knn: u32,
+    /// Runtime publishes (fire-and-forget index insertions).
+    pub publish: u32,
+}
+
+impl Default for QueryMix {
+    /// A read-heavy mix: 60% range, 30% knn, 10% publish.
+    fn default() -> QueryMix {
+        QueryMix {
+            range: 6,
+            knn: 3,
+            publish: 1,
+        }
+    }
+}
+
+/// How operations are admitted.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadMode {
+    /// Arrivals from the configured [`ArrivalProcess`], independent of
+    /// system state.
+    Open,
+    /// `concurrency` workers, each pacing itself: next operation one
+    /// `think` after the previous query's first result (or timeout).
+    Closed {
+        /// Worker population.
+        concurrency: usize,
+        /// Pause between a completion and the worker's next operation.
+        think: SimDuration,
+    },
+}
+
+/// One sustained-load run's configuration.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Arrival spacing (open loop; ignored by closed loop).
+    pub arrival: ArrivalProcess,
+    /// Open or closed loop.
+    pub mode: LoadMode,
+    /// Rate-ramp schedule (open loop): phases scaling the base rate.
+    /// Empty = flat.
+    pub ramp: Vec<RampPhase>,
+    /// Total operations to admit (queries + publishes).
+    pub n_ops: usize,
+    /// Mix weights.
+    pub mix: QueryMix,
+    /// Zipf exponent of query popularity over each pool (0 = uniform).
+    pub zipf_s: f64,
+    /// Per-query completion deadline (rule 2 above).
+    pub deadline: SimDuration,
+    /// How often the driver polls completions while stepping the
+    /// simulation. Affects only closed-loop pacing granularity and
+    /// timeout detection times, deterministically.
+    pub poll: SimDuration,
+    /// RNG stream id for the plan draw (fork of the system seed space).
+    pub stream: u64,
+    /// Node indices never used as an operation origin. Fault scenarios
+    /// reserve their churn victims here so a crash never takes a
+    /// query's merge state down with it — that is a different failure
+    /// mode than the owner/replica churn they measure.
+    pub excluded_origins: Vec<usize>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            arrival: ArrivalProcess::poisson_qps(10.0),
+            mode: LoadMode::Open,
+            ramp: Vec::new(),
+            n_ops: 100,
+            mix: QueryMix::default(),
+            zipf_s: 1.1,
+            deadline: SimDuration::from_secs(10),
+            poll: SimDuration::from_millis(20),
+            stream: 0x10AD,
+            excluded_origins: Vec::new(),
+        }
+    }
+}
+
+/// Which pool a planned query draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// The range-query pool.
+    Range,
+    /// The knn-query pool.
+    Knn,
+}
+
+/// One planned operation.
+#[derive(Clone, Copy, Debug)]
+pub enum PlannedOp {
+    /// Issue pool query `pool_idx` under id `qid` from node `origin`.
+    Query {
+        /// Dense ledger/oracle id, assigned in admission order.
+        qid: QueryId,
+        /// Which pool.
+        pool: PoolKind,
+        /// Index into that pool.
+        pool_idx: usize,
+        /// Issuing node.
+        origin: usize,
+    },
+    /// Publish pool entry `pool_idx` from node `origin`.
+    Publish {
+        /// Index into the publish pool.
+        pool_idx: usize,
+        /// Entry node for the publication.
+        origin: usize,
+    },
+}
+
+/// A fully pre-drawn operation schedule.
+///
+/// Planning is separated from execution because the distance oracle the
+/// system is built with is keyed by query id: the bench must know the
+/// qid → query-point mapping *before* it builds the system. Everything
+/// random — arrival gaps, mix draws, Zipf pool picks, origins — is
+/// drawn here, from one fork of the seed, so a plan is deterministic
+/// and independent of how execution interleaves.
+#[derive(Clone, Debug)]
+pub struct LoadPlan {
+    /// The operations, in admission order.
+    pub ops: Vec<PlannedOp>,
+    /// Open-loop absolute arrival times, parallel to `ops` (empty for
+    /// closed loop — workers pace themselves).
+    pub arrivals: Vec<SimTime>,
+    /// Number of query (non-publish) operations; qids are `0..n_queries`.
+    pub n_queries: usize,
+    /// The configuration the plan was drawn for.
+    pub cfg: LoadConfig,
+}
+
+impl LoadPlan {
+    /// `(pool, pool_idx)` for each qid, in qid order — what the bench
+    /// layer uses to build the qid-keyed distance oracle.
+    pub fn query_pool_refs(&self) -> Vec<(PoolKind, usize)> {
+        let mut refs = Vec::with_capacity(self.n_queries);
+        for op in &self.ops {
+            if let PlannedOp::Query { pool, pool_idx, .. } = *op {
+                refs.push((pool, pool_idx));
+            }
+        }
+        refs
+    }
+}
+
+/// The query/publish pools a plan draws from.
+pub struct LoadPools<'a> {
+    /// Range-query specs (with ground truth).
+    pub range: &'a [QuerySpec],
+    /// knn-query specs (with ground truth).
+    pub knn: &'a [QuerySpec],
+    /// Publishable entries: `(object id, index-space point)`, published
+    /// into index 0.
+    pub publish: &'a [(ObjectId, Vec<f64>)],
+}
+
+impl LoadPools<'_> {
+    fn spec(&self, pool: PoolKind, idx: usize) -> &QuerySpec {
+        match pool {
+            PoolKind::Range => &self.range[idx],
+            PoolKind::Knn => &self.knn[idx],
+        }
+    }
+}
+
+/// Draw a complete operation schedule. Pool weights with an empty pool
+/// are rejected; `n_nodes` bounds the origin draw.
+pub fn plan(cfg: &LoadConfig, pools: &LoadPools<'_>, n_nodes: usize, seed: u64) -> LoadPlan {
+    let total_w = cfg.mix.range + cfg.mix.knn + cfg.mix.publish;
+    assert!(total_w > 0, "mix weights must not all be zero");
+    assert!(
+        cfg.mix.range == 0 || !pools.range.is_empty(),
+        "range weight needs a range pool"
+    );
+    assert!(
+        cfg.mix.knn == 0 || !pools.knn.is_empty(),
+        "knn weight needs a knn pool"
+    );
+    assert!(
+        cfg.mix.publish == 0 || !pools.publish.is_empty(),
+        "publish weight needs a publish pool"
+    );
+    let mut rng = SimRng::new(seed).fork(cfg.stream);
+    let zipf_over = |n: usize| {
+        Zipf::new(n.max(1) as u64, cfg.zipf_s)
+            .unwrap_or_else(|e| panic!("invalid zipf skew {}: {e}", cfg.zipf_s))
+    };
+    let range_zipf = zipf_over(pools.range.len());
+    let knn_zipf = zipf_over(pools.knn.len());
+    let origins: Vec<usize> = (0..n_nodes)
+        .filter(|i| !cfg.excluded_origins.contains(i))
+        .collect();
+    assert!(!origins.is_empty(), "excluded_origins covers every node");
+
+    let mut ops = Vec::with_capacity(cfg.n_ops);
+    let mut arrivals = Vec::new();
+    let mut t = SimTime::ZERO;
+    let mut n_queries = 0usize;
+    let mut publish_cursor = 0usize;
+    for _ in 0..cfg.n_ops {
+        if matches!(cfg.mode, LoadMode::Open) {
+            let scale = ramp_scale_at(&cfg.ramp, SimDuration(t.0));
+            t += cfg.arrival.next_gap(&mut rng, scale);
+            arrivals.push(t);
+        }
+        let origin = origins[rng.index(origins.len())];
+        let w = rng.below(total_w as u64) as u32;
+        let op = if w < cfg.mix.range {
+            let pool_idx = range_zipf.sample(&mut rng) as usize - 1;
+            n_queries += 1;
+            PlannedOp::Query {
+                qid: (n_queries - 1) as QueryId,
+                pool: PoolKind::Range,
+                pool_idx,
+                origin,
+            }
+        } else if w < cfg.mix.range + cfg.mix.knn {
+            let pool_idx = knn_zipf.sample(&mut rng) as usize - 1;
+            n_queries += 1;
+            PlannedOp::Query {
+                qid: (n_queries - 1) as QueryId,
+                pool: PoolKind::Knn,
+                pool_idx,
+                origin,
+            }
+        } else {
+            // Publishes walk the pool round-robin: each entry is
+            // published at most once per wrap (re-publishing the same
+            // object id is a legal overwrite, so wrapping is safe).
+            let pool_idx = publish_cursor % pools.publish.len().max(1);
+            publish_cursor += 1;
+            PlannedOp::Publish { pool_idx, origin }
+        };
+        ops.push(op);
+    }
+    LoadPlan {
+        ops,
+        arrivals,
+        n_queries,
+        cfg: cfg.clone(),
+    }
+}
+
+/// Aggregate result of one sustained-load run. Everything here is
+/// deterministic in the system seed and the plan.
+#[derive(Clone, Debug)]
+pub struct LoadOutcome {
+    /// Queries issued (publishes not included).
+    pub issued: u64,
+    /// Queries that completed within deadline.
+    pub completions: u64,
+    /// Queries that produced no result within deadline.
+    pub timeouts: u64,
+    /// Publish operations injected.
+    pub publishes: u64,
+    /// Rejected second completions — nonzero means an accounting bug.
+    pub duplicate_completions: u64,
+    /// Queries issued per simulated second of the admission span.
+    pub offered_qps: f64,
+    /// Completions per simulated second of the measurement span.
+    pub sustained_qps: f64,
+    /// Exact latency percentiles over completions, milliseconds
+    /// (0.0 when nothing completed).
+    pub p50_ms: f64,
+    /// 95th percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+    /// Mean completion latency, ms.
+    pub mean_ms: f64,
+    /// `timeouts / issued` (0.0 when nothing was issued).
+    pub error_rate: f64,
+    /// Mean recall over completed queries against their pool truth.
+    pub mean_recall: f64,
+    /// Deliveries deferred by the finite-capacity model — the
+    /// saturation signal (0 when the service model is off).
+    pub deferred: u64,
+}
+
+impl LoadOutcome {
+    fn from_run(
+        ledger: &LatencyLedger,
+        publishes: u64,
+        recall_sum: f64,
+        first_issue: SimTime,
+        last_issue: SimTime,
+        end: SimTime,
+        deferred: u64,
+    ) -> LoadOutcome {
+        let issued = ledger.issued();
+        let completions = ledger.completions();
+        let admit_span_s = last_issue.since(first_issue).as_millis_f64() / 1e3;
+        let measure_span_s = end.since(first_issue).as_millis_f64() / 1e3;
+        let pct = |p: f64| ledger.percentile_us(p).map_or(0.0, |us| us as f64 / 1e3);
+        LoadOutcome {
+            issued,
+            completions,
+            timeouts: ledger.timeouts(),
+            publishes,
+            duplicate_completions: ledger.duplicate_completions(),
+            offered_qps: if admit_span_s > 0.0 {
+                issued as f64 / admit_span_s
+            } else {
+                0.0
+            },
+            sustained_qps: if measure_span_s > 0.0 {
+                completions as f64 / measure_span_s
+            } else {
+                0.0
+            },
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            mean_ms: ledger.mean_us().map_or(0.0, |us| us / 1e3),
+            error_rate: if issued > 0 {
+                ledger.timeouts() as f64 / issued as f64
+            } else {
+                0.0
+            },
+            mean_recall: if completions > 0 {
+                recall_sum / completions as f64
+            } else {
+                0.0
+            },
+            deferred,
+        }
+    }
+}
+
+/// Recall of a completed query's merged answer against its pool truth.
+fn recall_of(iq: &crate::node::IssuedQuery, spec: &QuerySpec) -> f64 {
+    if spec.truth.is_empty() {
+        return 1.0;
+    }
+    let hits = spec
+        .truth
+        .iter()
+        .filter(|t| iq.merged.iter().any(|&(o, _)| o == **t))
+        .count();
+    hits as f64 / spec.truth.len() as f64
+}
+
+/// Execute a plan against a built system and fold the outcome.
+///
+/// The system must have been built with a distance oracle derived from
+/// [`LoadPlan::query_pool_refs`] (qid → pool query point). Publishes go
+/// to index 0.
+pub fn execute(system: &mut SearchSystem, plan: &LoadPlan, pools: &LoadPools<'_>) -> LoadOutcome {
+    match plan.cfg.mode {
+        LoadMode::Open => execute_open(system, plan, pools),
+        LoadMode::Closed { concurrency, think } => {
+            execute_closed(system, plan, pools, concurrency, think)
+        }
+    }
+}
+
+/// A query the driver is still watching: `(qid, origin, spec location)`.
+#[derive(Clone, Copy)]
+struct Watch {
+    qid: QueryId,
+    origin: AgentId,
+    pool: PoolKind,
+    pool_idx: usize,
+}
+
+/// Mark watches whose deadline has passed without a first result as
+/// timeouts; keep everything else.
+fn reap_timeouts(
+    system: &SearchSystem,
+    ledger: &mut LatencyLedger,
+    watches: &mut Vec<Watch>,
+    deadline: SimDuration,
+) {
+    let now = system.now();
+    watches.retain(|w| {
+        let issued_at = match ledger.in_flight_since(w.qid as usize) {
+            Some(t) => t,
+            None => return false,
+        };
+        let first = system
+            .issued_query(w.origin, w.qid)
+            .and_then(|iq| iq.first_result);
+        if first.is_none() && now.since(issued_at) > deadline {
+            ledger.timeout(w.qid as usize);
+            return false;
+        }
+        true
+    });
+}
+
+/// Final sweep (rules 1–2): complete every still-in-flight query whose
+/// first result arrived within deadline, at its last-result time
+/// clamped to the deadline — the driver stops waiting then, so a
+/// straggler answer drifting in later (retransmit backoff, a restarted
+/// host draining its queue) cannot stretch the recorded latency past
+/// the deadline the user actually experienced. Times out the rest.
+/// Returns the recall sum over the completions it records.
+fn sweep(
+    system: &SearchSystem,
+    ledger: &mut LatencyLedger,
+    watches: &[Watch],
+    pools: &LoadPools<'_>,
+    deadline: SimDuration,
+) -> f64 {
+    let mut recall_sum = 0.0;
+    for w in watches {
+        let Some(issued_at) = ledger.in_flight_since(w.qid as usize) else {
+            continue;
+        };
+        let iq = system.issued_query(w.origin, w.qid);
+        let first = iq.and_then(|iq| iq.first_result);
+        match first {
+            Some(fr) if fr.since(issued_at) <= deadline => {
+                let iq = iq.expect("first_result implies record");
+                let done = iq.last_result.unwrap_or(fr).min(issued_at + deadline);
+                if ledger.complete(w.qid as usize, done) {
+                    recall_sum += recall_of(iq, pools.spec(w.pool, w.pool_idx));
+                }
+            }
+            _ => {
+                ledger.timeout(w.qid as usize);
+            }
+        }
+    }
+    recall_sum
+}
+
+fn execute_open(system: &mut SearchSystem, plan: &LoadPlan, pools: &LoadPools<'_>) -> LoadOutcome {
+    let cfg = &plan.cfg;
+    let mut ledger = LatencyLedger::new();
+    let mut watches: Vec<Watch> = Vec::new();
+    let mut publishes = 0u64;
+    let base = system.now();
+    let mut first_issue = None;
+    let mut last_issue = base;
+
+    for (op, &at) in plan.ops.iter().zip(&plan.arrivals) {
+        let at = base + SimDuration(at.0);
+        // Admit by arrival time: advance the simulation to the arrival,
+        // reap any deadlines that passed on the way, then inject.
+        system.run_until(at);
+        reap_timeouts(system, &mut ledger, &mut watches, cfg.deadline);
+        match *op {
+            PlannedOp::Query {
+                qid,
+                pool,
+                pool_idx,
+                origin,
+            } => {
+                let origin = AgentId(origin);
+                system.inject_query(at, origin, qid, pools.spec(pool, pool_idx));
+                ledger.issue(qid as usize, at);
+                first_issue.get_or_insert(at);
+                last_issue = at;
+                watches.push(Watch {
+                    qid,
+                    origin,
+                    pool,
+                    pool_idx,
+                });
+            }
+            PlannedOp::Publish { pool_idx, origin } => {
+                let (obj, ref point) = pools.publish[pool_idx];
+                system.inject_publish(at, AgentId(origin), 0, obj, point);
+                publishes += 1;
+            }
+        }
+    }
+    // Give the tail its full deadline, then settle remaining traffic
+    // (retransmit timers etc.) so last-result times are final.
+    system.run_until(last_issue + cfg.deadline);
+    system.run_to_quiescence();
+    let recall_sum = sweep(system, &mut ledger, &watches, pools, cfg.deadline);
+    debug_assert!(ledger.invariant_holds());
+    let end = system.now();
+    LoadOutcome::from_run(
+        &ledger,
+        publishes,
+        recall_sum,
+        first_issue.unwrap_or(base),
+        last_issue,
+        end,
+        system.net_stats().deferred,
+    )
+}
+
+fn execute_closed(
+    system: &mut SearchSystem,
+    plan: &LoadPlan,
+    pools: &LoadPools<'_>,
+    concurrency: usize,
+    think: SimDuration,
+) -> LoadOutcome {
+    assert!(concurrency > 0, "closed loop needs at least one worker");
+    let cfg = &plan.cfg;
+    let mut ledger = LatencyLedger::new();
+    let mut watches: Vec<Watch> = Vec::new();
+    let mut publishes = 0u64;
+    let base = system.now();
+    let mut first_issue = None;
+    let mut last_issue = base;
+
+    /// What each worker is doing.
+    enum Worker {
+        Idle {
+            ready_at: SimTime,
+        },
+        Busy {
+            qid: QueryId,
+            origin: AgentId,
+            issued_at: SimTime,
+        },
+    }
+    let mut workers: Vec<Worker> = (0..concurrency)
+        .map(|_| Worker::Idle { ready_at: base })
+        .collect();
+    let mut next_op = 0usize;
+
+    loop {
+        let now = system.now();
+        let mut all_idle = true;
+        // Workers are scanned in index order every poll, so op
+        // assignment is deterministic.
+        for w in workers.iter_mut() {
+            match *w {
+                Worker::Busy {
+                    qid,
+                    origin,
+                    issued_at,
+                } => {
+                    let first = system
+                        .issued_query(origin, qid)
+                        .and_then(|iq| iq.first_result);
+                    match first {
+                        Some(fr) => {
+                            // Pacing signal: first result. The ledger's
+                            // completion (full answer) is swept at the
+                            // end under the same rules as open loop.
+                            *w = Worker::Idle {
+                                ready_at: fr + think,
+                            };
+                        }
+                        None if now.since(issued_at) > cfg.deadline => {
+                            ledger.timeout(qid as usize);
+                            watches.retain(|x| x.qid != qid);
+                            *w = Worker::Idle {
+                                ready_at: now + think,
+                            };
+                        }
+                        None => all_idle = false,
+                    }
+                }
+                Worker::Idle { .. } => {}
+            }
+            if let Worker::Idle { ready_at } = *w {
+                if next_op < plan.ops.len() && ready_at <= now {
+                    match plan.ops[next_op] {
+                        PlannedOp::Query {
+                            qid,
+                            pool,
+                            pool_idx,
+                            origin,
+                        } => {
+                            let origin = AgentId(origin);
+                            system.inject_query(now, origin, qid, pools.spec(pool, pool_idx));
+                            ledger.issue(qid as usize, now);
+                            first_issue.get_or_insert(now);
+                            last_issue = now;
+                            watches.push(Watch {
+                                qid,
+                                origin,
+                                pool,
+                                pool_idx,
+                            });
+                            *w = Worker::Busy {
+                                qid,
+                                origin,
+                                issued_at: now,
+                            };
+                            all_idle = false;
+                        }
+                        PlannedOp::Publish { pool_idx, origin } => {
+                            // Fire-and-forget: the worker pays one think
+                            // time and moves on.
+                            let (obj, ref point) = pools.publish[pool_idx];
+                            system.inject_publish(now, AgentId(origin), 0, obj, point);
+                            publishes += 1;
+                            *w = Worker::Idle {
+                                ready_at: now + think,
+                            };
+                        }
+                    }
+                    next_op += 1;
+                }
+            }
+        }
+        if next_op >= plan.ops.len() && all_idle {
+            break;
+        }
+        system.run_until(now + cfg.poll);
+    }
+    system.run_until(last_issue + cfg.deadline);
+    system.run_to_quiescence();
+    let recall_sum = sweep(system, &mut ledger, &watches, pools, cfg.deadline);
+    debug_assert!(ledger.invariant_holds());
+    let end = system.now();
+    LoadOutcome::from_run(
+        &ledger,
+        publishes,
+        recall_sum,
+        first_issue.unwrap_or(base),
+        last_issue,
+        end,
+        system.net_stats().deferred,
+    )
+}
+
+/// The service-level objective a capacity run must satisfy.
+#[derive(Clone, Copy, Debug)]
+pub struct SloSpec {
+    /// Maximum acceptable p99 completion latency, milliseconds.
+    pub p99_ms: f64,
+    /// Maximum acceptable `timeouts / issued`.
+    pub max_error_rate: f64,
+    /// Minimum acceptable mean recall over completions. Under heavy
+    /// congestion, retransmit exhaustion can fail a query over to a
+    /// partial answer set — a run that "sustains" a rate by returning
+    /// wrong answers must not pass.
+    pub min_recall: f64,
+}
+
+impl SloSpec {
+    /// Does `outcome` satisfy this SLO? A run with zero completions
+    /// never passes.
+    pub fn passes(&self, outcome: &LoadOutcome) -> bool {
+        outcome.completions > 0
+            && outcome.p99_ms <= self.p99_ms
+            && outcome.error_rate <= self.max_error_rate
+            && outcome.mean_recall + 1e-12 >= self.min_recall
+    }
+}
+
+/// One probed rate in a capacity search.
+#[derive(Clone, Debug)]
+pub struct CapacityTrial {
+    /// Offered rate the trial ran at.
+    pub offered_qps: f64,
+    /// The full run outcome.
+    pub outcome: LoadOutcome,
+    /// Whether it satisfied the SLO.
+    pub pass: bool,
+}
+
+/// Result of a capacity search: the knee and every trial that found it.
+#[derive(Clone, Debug)]
+pub struct CapacityResult {
+    /// Highest probed rate that satisfied the SLO (0.0 when even the
+    /// base rate failed).
+    pub knee_qps: f64,
+    /// The outcome at the knee, if any rate passed.
+    pub knee: Option<LoadOutcome>,
+    /// Every trial, in probe order.
+    pub trials: Vec<CapacityTrial>,
+}
+
+/// Find the maximum offered QPS satisfying `slo`.
+///
+/// Doubles from `base_qps` until the SLO first fails (at most
+/// `max_doublings` doublings), then bisects the passing/failing bracket
+/// `refine_steps` times. `run_at(qps)` must run a fresh, deterministic
+/// trial at that offered rate; total trials are at most
+/// `max_doublings + 1 + refine_steps`.
+pub fn capacity_search(
+    slo: SloSpec,
+    base_qps: f64,
+    max_doublings: usize,
+    refine_steps: usize,
+    mut run_at: impl FnMut(f64) -> LoadOutcome,
+) -> CapacityResult {
+    assert!(base_qps > 0.0);
+    let mut trials = Vec::new();
+    let mut probe = |qps: f64, trials: &mut Vec<CapacityTrial>| -> bool {
+        let outcome = run_at(qps);
+        let pass = slo.passes(&outcome);
+        trials.push(CapacityTrial {
+            offered_qps: qps,
+            outcome,
+            pass,
+        });
+        pass
+    };
+
+    let mut lo = 0.0f64; // highest passing rate
+    let mut lo_idx = None; // its trial index
+    let mut hi = None; // lowest failing rate
+    let mut rate = base_qps;
+    for _ in 0..=max_doublings {
+        if probe(rate, &mut trials) {
+            lo = rate;
+            lo_idx = Some(trials.len() - 1);
+            rate *= 2.0;
+        } else {
+            hi = Some(rate);
+            break;
+        }
+    }
+    if let Some(mut hi) = hi {
+        if lo > 0.0 {
+            for _ in 0..refine_steps {
+                // Geometric midpoint: rates span octaves, so split in
+                // log space.
+                let mid = (lo * hi).sqrt();
+                if probe(mid, &mut trials) {
+                    lo = mid;
+                    lo_idx = Some(trials.len() - 1);
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+    }
+    CapacityResult {
+        knee_qps: lo,
+        knee: lo_idx.map(|i| trials[i].outcome.clone()),
+        trials,
+    }
+}

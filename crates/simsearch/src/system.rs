@@ -124,9 +124,16 @@ pub struct QueryOutcome {
     pub origin: AgentId,
     /// Maximum query-delivery path length over all answering nodes.
     pub hops: u32,
-    /// Time to the first result, milliseconds.
+    /// True when at least one result reached the origin. When `false`
+    /// the query produced nothing — `response_ms` / `max_latency_ms`
+    /// are 0.0 by convention and must not enter latency statistics
+    /// (a zero-result query is a *timeout*, not an instant answer).
+    pub completed: bool,
+    /// Time to the first result, milliseconds. Meaningless (0.0) when
+    /// `completed` is false.
     pub response_ms: f64,
-    /// Time to the last result, milliseconds.
+    /// Time to the last result, milliseconds. Meaningless (0.0) when
+    /// `completed` is false.
     pub max_latency_ms: f64,
     /// Query-delivery bandwidth, bytes.
     pub query_bytes: u64,
@@ -581,31 +588,113 @@ impl SearchSystem {
         for (qid, q) in queries.iter().enumerate() {
             t += rng.exponential(mean_interarrival_s);
             let origin = AgentId(rng.index(self.cfg.n_nodes));
-            let grid = &self.grids[q.index as usize];
-            let rect = Rect::ball(&q.point, q.radius, grid.bounds());
-            let prefix = grid.enclosing_prefix(&rect);
-            self.sim.inject(
-                SimTime::from_secs_f64(t),
-                origin,
-                SearchMsg::Issue(SubQueryMsg {
-                    qid: qid as QueryId,
-                    index: q.index,
-                    rect,
-                    prefix,
-                    hops: 0,
-                    origin,
-                    // The unclamped landmark vector: answering nodes
-                    // prune refinement candidates against this ball.
-                    ball: Some(QueryBall {
-                        center: q.point.clone().into(),
-                        radius: q.radius,
-                    }),
-                    shortcut: false,
-                }),
-            );
+            self.inject_query(SimTime::from_secs_f64(t), origin, qid as QueryId, q);
         }
         self.sim.run();
         self.collect(queries)
+    }
+
+    /// Inject one query as a simulation event: `q` is issued by `origin`
+    /// at absolute time `at` under id `qid`. This is the admission
+    /// primitive the sustained-load driver uses to admit queries by
+    /// arrival time with many in flight; [`SearchSystem::run_queries`]
+    /// is the batch convenience built on it.
+    pub fn inject_query(&mut self, at: SimTime, origin: AgentId, qid: QueryId, q: &QuerySpec) {
+        let grid = &self.grids[q.index as usize];
+        let rect = Rect::ball(&q.point, q.radius, grid.bounds());
+        let prefix = grid.enclosing_prefix(&rect);
+        self.sim.inject(
+            at,
+            origin,
+            SearchMsg::Issue(SubQueryMsg {
+                qid,
+                index: q.index,
+                rect,
+                prefix,
+                hops: 0,
+                origin,
+                // The unclamped landmark vector: answering nodes
+                // prune refinement candidates against this ball.
+                ball: Some(QueryBall {
+                    center: q.point.clone().into(),
+                    radius: q.radius,
+                }),
+                shortcut: false,
+            }),
+        );
+    }
+
+    /// Inject a runtime publication: the entry for `(obj, point)` enters
+    /// the overlay at `origin` at time `at` and routes greedily to its
+    /// owner (§6 "dynamic datasets"). The point is clamped to the index
+    /// boundary exactly as build-time publication clamps it.
+    pub fn inject_publish(
+        &mut self,
+        at: SimTime,
+        origin: AgentId,
+        index: u8,
+        obj: ObjectId,
+        point: &[f64],
+    ) {
+        let grid = &self.grids[index as usize];
+        assert_eq!(
+            point.len(),
+            grid.dims(),
+            "publish point has wrong dimensionality"
+        );
+        let clamped: Vec<f64> = point
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| v.clamp(grid.bounds().lo()[d], grid.bounds().hi()[d]))
+            .collect();
+        let key = self.rotations[index as usize].to_ring(grid.hash(&clamped));
+        let entry = Entry {
+            ring_key: key,
+            obj,
+            point: clamped.into_boxed_slice(),
+        };
+        self.sim.inject(
+            at,
+            origin,
+            SearchMsg::Publish {
+                index,
+                entry,
+                hops: 0,
+            },
+        );
+    }
+
+    /// Advance the simulation to `horizon` (events at exactly `horizon`
+    /// included), leaving later events queued. The sustained-load driver
+    /// interleaves this with [`SearchSystem::inject_query`] to admit
+    /// arrivals over time and observe completions as they happen.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.sim.run_until(horizon);
+    }
+
+    /// Run the simulation until no events remain.
+    pub fn run_to_quiescence(&mut self) {
+        self.sim.run();
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The origin-side record of query `qid` as issued by `origin`, if
+    /// that node has issued it. This is the completion probe: a query
+    /// has completed once `first_result` is set, and its full answer
+    /// latency is `last_result`.
+    pub fn issued_query(&self, origin: AgentId, qid: QueryId) -> Option<&IssuedQuery> {
+        self.sim.agent(origin).issued.get(&qid)
+    }
+
+    /// Opt into the finite per-node processing capacity model (see
+    /// `simnet::Sim::set_service_time`). Off by default; sustained-load
+    /// scenarios enable it so offered rate can actually saturate nodes.
+    pub fn set_service_time(&mut self, per_message: Option<simnet::SimDuration>) {
+        self.sim.set_service_time(per_message);
     }
 
     /// [`SearchSystem::run_queries`] with caller-chosen issuing nodes:
@@ -626,26 +715,7 @@ impl SearchSystem {
         for (qid, q) in queries.iter().enumerate() {
             t += rng.exponential(mean_interarrival_s);
             let origin = AgentId(origins[qid % origins.len()] % self.cfg.n_nodes);
-            let grid = &self.grids[q.index as usize];
-            let rect = Rect::ball(&q.point, q.radius, grid.bounds());
-            let prefix = grid.enclosing_prefix(&rect);
-            self.sim.inject(
-                SimTime::from_secs_f64(t),
-                origin,
-                SearchMsg::Issue(SubQueryMsg {
-                    qid: qid as QueryId,
-                    index: q.index,
-                    rect,
-                    prefix,
-                    hops: 0,
-                    origin,
-                    ball: Some(QueryBall {
-                        center: q.point.clone().into(),
-                        radius: q.radius,
-                    }),
-                    shortcut: false,
-                }),
-            );
+            self.inject_query(SimTime::from_secs_f64(t), origin, qid as QueryId, q);
         }
         self.sim.run();
         self.collect(queries)
@@ -695,6 +765,7 @@ impl SearchSystem {
                 qid: qid as QueryId,
                 origin: AgentId(origin),
                 hops: iq.max_hops,
+                completed: iq.first_result.is_some(),
                 response_ms,
                 max_latency_ms,
                 query_bytes: query_bytes[qid],

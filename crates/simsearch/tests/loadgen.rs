@@ -1,0 +1,457 @@
+//! The sustained-load driver's accounting contract: every admitted query
+//! lands in exactly one ledger bucket (`issued == completions +
+//! timeouts`, zero duplicates) — on a calm network, under 10% loss with
+//! crash/restart churn, in open and closed loop — and the capacity
+//! search brackets the SLO knee it is pointed at.
+
+use metric::ObjectId;
+use simnet::{AgentId, ArrivalProcess, SimDuration};
+use simsearch::loadgen::{self, LoadConfig, LoadMode, LoadOutcome, LoadPools, PlannedOp, QueryMix};
+use simsearch::msg::{DistanceOracle, QueryId};
+use simsearch::{IndexSpec, QuerySpec, ResilienceConfig, SearchSystem, SloSpec, SystemConfig};
+use std::sync::Arc;
+
+fn l2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Objects on a grid in [0,100]², index space = data space.
+fn world(n_obj: usize) -> (IndexSpec, Vec<Vec<f64>>) {
+    let side = (n_obj as f64).sqrt().ceil() as usize;
+    let points: Vec<Vec<f64>> = (0..n_obj)
+        .map(|i| {
+            vec![
+                (i % side) as f64 * 100.0 / side as f64,
+                (i / side) as f64 * 100.0 / side as f64,
+            ]
+        })
+        .collect();
+    (
+        IndexSpec {
+            name: "loadgen".into(),
+            boundary: vec![(0.0, 100.0); 2],
+            points: points.clone(),
+            rotate: false,
+        },
+        points,
+    )
+}
+
+fn spec_for(points: &[Vec<f64>], qp: &[f64], r: f64, k: usize) -> QuerySpec {
+    let mut d: Vec<(ObjectId, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (ObjectId(i as u32), l2(qp, p)))
+        .collect();
+    d.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let truth: Vec<ObjectId> = d
+        .iter()
+        .take_while(|&&(_, dist)| dist <= r)
+        .take(k)
+        .map(|&(o, _)| o)
+        .collect();
+    QuerySpec {
+        index: 0,
+        point: qp.to_vec(),
+        radius: r,
+        truth,
+    }
+}
+
+/// Query/publish pools over the grid world. Publishes re-publish
+/// existing objects at their own points — a legal overwrite that cannot
+/// perturb any query's ground truth.
+struct Fixture {
+    spec: IndexSpec,
+    points: Vec<Vec<f64>>,
+    range: Vec<QuerySpec>,
+    knn: Vec<QuerySpec>,
+    publish: Vec<(ObjectId, Vec<f64>)>,
+}
+
+fn fixture() -> Fixture {
+    let (spec, points) = world(100);
+    let qpoints: Vec<Vec<f64>> = vec![
+        vec![50.0, 50.0],
+        vec![10.0, 90.0],
+        vec![99.0, 1.0],
+        vec![0.0, 0.0],
+        vec![25.0, 75.0],
+        vec![80.0, 40.0],
+    ];
+    // Truth is the top-k within radius: answers are ranked and merged
+    // top-k (knn_k = 5 in every system built here), so a wider truth
+    // set would under-count by construction, not by fault.
+    let range: Vec<QuerySpec> = qpoints
+        .iter()
+        .map(|qp| spec_for(&points, qp, 30.0, 5))
+        .collect();
+    let knn: Vec<QuerySpec> = qpoints
+        .iter()
+        .map(|qp| {
+            // k-NN as padded-radius top-k, the same encoding the bench
+            // layer uses.
+            let mut d: Vec<f64> = points.iter().map(|p| l2(qp, p)).collect();
+            d.sort_by(|a, b| a.total_cmp(b));
+            spec_for(&points, qp, d[4] * 1.5, 5)
+        })
+        .collect();
+    let publish: Vec<(ObjectId, Vec<f64>)> = (0..10)
+        .map(|i| (ObjectId(i as u32), points[i].clone()))
+        .collect();
+    Fixture {
+        spec,
+        points,
+        range,
+        knn,
+        publish,
+    }
+}
+
+/// Plan first, then build the system with a plan-derived oracle (the
+/// oracle is keyed by qid, which only the plan knows).
+fn plan_and_build(
+    fx: &Fixture,
+    cfg: &LoadConfig,
+    sys_cfg: SystemConfig,
+) -> (loadgen::LoadPlan, SearchSystem) {
+    let pools = LoadPools {
+        range: &fx.range,
+        knn: &fx.knn,
+        publish: &fx.publish,
+    };
+    let plan = loadgen::plan(cfg, &pools, sys_cfg.n_nodes, sys_cfg.seed);
+    let qpoints: Vec<Vec<f64>> = plan
+        .query_pool_refs()
+        .into_iter()
+        .map(|(pool, idx)| match pool {
+            loadgen::PoolKind::Range => fx.range[idx].point.clone(),
+            loadgen::PoolKind::Knn => fx.knn[idx].point.clone(),
+        })
+        .collect();
+    let objects = fx.points.clone();
+    let oracle: DistanceOracle = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        l2(&qpoints[qid as usize], &objects[obj.0 as usize])
+    });
+    let system = SearchSystem::build(sys_cfg, std::slice::from_ref(&fx.spec), oracle);
+    (plan, system)
+}
+
+fn assert_exactly_once(plan: &loadgen::LoadPlan, out: &LoadOutcome) {
+    assert_eq!(
+        out.issued, plan.n_queries as u64,
+        "every planned query must be issued exactly once"
+    );
+    assert_eq!(
+        out.issued,
+        out.completions + out.timeouts,
+        "each query lands in exactly one bucket"
+    );
+    assert_eq!(out.duplicate_completions, 0, "no query completes twice");
+}
+
+/// Open loop on a calm network: everything completes, nothing times
+/// out, recall is perfect, and publishes flowed alongside.
+#[test]
+fn open_loop_exact_accounting_on_calm_network() {
+    let fx = fixture();
+    let cfg = LoadConfig {
+        arrival: ArrivalProcess::poisson_qps(200.0),
+        n_ops: 120,
+        ..LoadConfig::default()
+    };
+    let sys_cfg = SystemConfig {
+        n_nodes: 16,
+        knn_k: 5,
+        depth: 16,
+        seed: 41,
+        ..SystemConfig::default()
+    };
+    let (plan, mut sys) = plan_and_build(&fx, &cfg, sys_cfg);
+    let pools = LoadPools {
+        range: &fx.range,
+        knn: &fx.knn,
+        publish: &fx.publish,
+    };
+    let out = loadgen::execute(&mut sys, &plan, &pools);
+    assert_exactly_once(&plan, &out);
+    assert_eq!(out.timeouts, 0, "calm network must not time out");
+    assert!(out.publishes > 0, "default mix includes publishes");
+    assert!(
+        (out.mean_recall - 1.0).abs() < 1e-12,
+        "recall {} under no faults",
+        out.mean_recall
+    );
+    assert!(out.offered_qps > 0.0 && out.sustained_qps > 0.0);
+    assert!(out.p50_ms > 0.0 && out.p99_ms >= out.p50_ms);
+}
+
+/// The satellite-2 invariant: under 10% message loss plus crash/restart
+/// churn, `queries_issued == completions + timeouts` still holds with
+/// zero duplicate completions — faults may slow or fail queries, never
+/// unbalance the ledger.
+#[test]
+fn counter_invariant_holds_under_loss_and_churn() {
+    let fx = fixture();
+    let cfg = LoadConfig {
+        arrival: ArrivalProcess::poisson_qps(100.0),
+        n_ops: 80,
+        deadline: SimDuration::from_secs(5),
+        ..LoadConfig::default()
+    };
+    let sys_cfg = SystemConfig {
+        n_nodes: 16,
+        knn_k: 5,
+        depth: 16,
+        seed: 43,
+        resilience: Some(ResilienceConfig {
+            replication: 2,
+            ..ResilienceConfig::default()
+        }),
+        ..SystemConfig::default()
+    };
+    let (plan, mut sys) = plan_and_build(&fx, &cfg, sys_cfg);
+    sys.set_loss_rate(0.10);
+    let base = sys.now();
+    sys.schedule_crash(base + SimDuration::from_millis(100), AgentId(3));
+    sys.schedule_restart(base + SimDuration::from_millis(400), AgentId(3));
+    sys.schedule_crash(base + SimDuration::from_millis(250), AgentId(9));
+    let pools = LoadPools {
+        range: &fx.range,
+        knn: &fx.knn,
+        publish: &fx.publish,
+    };
+    let out = loadgen::execute(&mut sys, &plan, &pools);
+    assert_exactly_once(&plan, &out);
+    assert!(
+        sys.net_stats().dropped > 0,
+        "fault plane dropped nothing; the run proved nothing"
+    );
+    assert!(out.completions > 0, "resilient system should finish work");
+}
+
+/// Closed loop: a worker population drives the same ledger contract,
+/// and with no faults every operation completes.
+#[test]
+fn closed_loop_exact_accounting() {
+    let fx = fixture();
+    let cfg = LoadConfig {
+        mode: LoadMode::Closed {
+            concurrency: 4,
+            think: SimDuration::from_millis(50),
+        },
+        n_ops: 40,
+        mix: QueryMix {
+            range: 1,
+            knn: 1,
+            publish: 1,
+        },
+        ..LoadConfig::default()
+    };
+    let sys_cfg = SystemConfig {
+        n_nodes: 16,
+        knn_k: 5,
+        depth: 16,
+        seed: 47,
+        ..SystemConfig::default()
+    };
+    let (plan, mut sys) = plan_and_build(&fx, &cfg, sys_cfg);
+    let pools = LoadPools {
+        range: &fx.range,
+        knn: &fx.knn,
+        publish: &fx.publish,
+    };
+    let out = loadgen::execute(&mut sys, &plan, &pools);
+    assert_exactly_once(&plan, &out);
+    assert_eq!(out.timeouts, 0);
+    assert_eq!(
+        out.publishes + out.issued,
+        plan.ops.len() as u64,
+        "closed loop must drain the whole plan"
+    );
+    assert!((out.mean_recall - 1.0).abs() < 1e-12);
+}
+
+/// The plan is a pure function of (config, pools, seed): identical
+/// inputs draw identical schedules, a different stream draws a
+/// different one, and Zipf skew makes low ranks dominate.
+#[test]
+fn plan_is_deterministic_and_zipf_skewed() {
+    let fx = fixture();
+    let pools = LoadPools {
+        range: &fx.range,
+        knn: &fx.knn,
+        publish: &fx.publish,
+    };
+    let cfg = LoadConfig {
+        n_ops: 600,
+        zipf_s: 1.2,
+        ..LoadConfig::default()
+    };
+    let a = loadgen::plan(&cfg, &pools, 16, 7);
+    let b = loadgen::plan(&cfg, &pools, 16, 7);
+    assert_eq!(format!("{:?}", a.ops), format!("{:?}", b.ops));
+    assert_eq!(a.arrivals, b.arrivals);
+    let other = loadgen::plan(
+        &LoadConfig {
+            stream: 0xBEEF,
+            ..cfg.clone()
+        },
+        &pools,
+        16,
+        7,
+    );
+    assert_ne!(format!("{:?}", a.ops), format!("{:?}", other.ops));
+
+    let mut counts = vec![0usize; fx.range.len()];
+    for op in &a.ops {
+        if let PlannedOp::Query {
+            pool: loadgen::PoolKind::Range,
+            pool_idx,
+            ..
+        } = *op
+        {
+            counts[pool_idx] += 1;
+        }
+    }
+    let max_idx = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| c)
+        .map(|(i, _)| i)
+        .unwrap();
+    assert_eq!(max_idx, 0, "Zipf rank 1 must be the hottest query");
+}
+
+/// Capacity search against a synthetic system whose p99 grows linearly
+/// with offered rate: the knee must land inside the last passing/first
+/// failing bracket, below the true SLO boundary.
+#[test]
+fn capacity_search_brackets_the_knee() {
+    let synthetic = |qps: f64| LoadOutcome {
+        issued: 100,
+        completions: 100,
+        timeouts: 0,
+        publishes: 0,
+        duplicate_completions: 0,
+        offered_qps: qps,
+        sustained_qps: qps,
+        p50_ms: qps / 2.0,
+        p95_ms: qps * 0.9,
+        p99_ms: qps, // SLO boundary at exactly 100 QPS
+        mean_ms: qps / 2.0,
+        error_rate: 0.0,
+        mean_recall: 1.0,
+        deferred: 0,
+    };
+    let slo = SloSpec {
+        p99_ms: 100.0,
+        max_error_rate: 0.0,
+        min_recall: 0.0,
+    };
+    let result = loadgen::capacity_search(slo, 10.0, 8, 6, synthetic);
+    assert!(
+        result.knee_qps > 80.0 && result.knee_qps <= 100.0,
+        "knee {} outside (80, 100]",
+        result.knee_qps
+    );
+    let knee = result.knee.expect("some rate passed");
+    assert!(slo.passes(&knee));
+    assert!(result.trials.len() <= 8 + 1 + 6);
+    // The ladder is 10, 20, 40, 80 (pass), 160 (fail), then bisection.
+    assert!(result.trials[..4].iter().all(|t| t.pass));
+    assert!(!result.trials[4].pass);
+    // Probed rates never exceed the first failure.
+    assert!(result.trials.iter().all(|t| t.offered_qps <= 160.0));
+}
+
+/// When even the base rate violates the SLO, the search reports no
+/// knee rather than inventing one.
+#[test]
+fn capacity_search_reports_base_rate_failure() {
+    let synthetic = |qps: f64| LoadOutcome {
+        issued: 100,
+        completions: 100,
+        timeouts: 50,
+        publishes: 0,
+        duplicate_completions: 0,
+        offered_qps: qps,
+        sustained_qps: qps / 2.0,
+        p50_ms: 1.0,
+        p95_ms: 2.0,
+        p99_ms: 3.0,
+        mean_ms: 1.0,
+        error_rate: 0.5,
+        mean_recall: 1.0,
+        deferred: 0,
+    };
+    let slo = SloSpec {
+        p99_ms: 100.0,
+        max_error_rate: 0.01,
+        min_recall: 0.0,
+    };
+    let result = loadgen::capacity_search(slo, 10.0, 8, 6, synthetic);
+    assert_eq!(result.knee_qps, 0.0);
+    assert!(result.knee.is_none());
+    assert_eq!(result.trials.len(), 1, "one failing probe settles it");
+}
+
+/// The finite-capacity service model is what makes rate matter: the
+/// same workload offered faster defers deliveries and drives the tail
+/// latency up, where the infinite-server default would be flat.
+#[test]
+fn service_model_creates_rate_dependent_tail() {
+    let fx = fixture();
+    let run_at = |qps: f64| {
+        let cfg = LoadConfig {
+            arrival: ArrivalProcess::fixed_qps(qps),
+            n_ops: 80,
+            mix: QueryMix {
+                range: 1,
+                knn: 1,
+                publish: 0,
+            },
+            ..LoadConfig::default()
+        };
+        let sys_cfg = SystemConfig {
+            n_nodes: 16,
+            knn_k: 5,
+            depth: 16,
+            seed: 53,
+            ..SystemConfig::default()
+        };
+        let (plan, mut sys) = plan_and_build(&fx, &cfg, sys_cfg);
+        sys.set_service_time(Some(SimDuration::from_millis(2)));
+        let pools = LoadPools {
+            range: &fx.range,
+            knn: &fx.knn,
+            publish: &fx.publish,
+        };
+        loadgen::execute(&mut sys, &plan, &pools)
+    };
+    let slow = run_at(20.0);
+    let fast = run_at(2000.0);
+    assert_exactly_once_counts(&slow);
+    assert_exactly_once_counts(&fast);
+    assert!(
+        fast.deferred > slow.deferred,
+        "higher rate must defer more deliveries ({} vs {})",
+        fast.deferred,
+        slow.deferred
+    );
+    assert!(
+        fast.p99_ms > slow.p99_ms,
+        "saturation must show in the tail ({} vs {})",
+        fast.p99_ms,
+        slow.p99_ms
+    );
+}
+
+fn assert_exactly_once_counts(out: &LoadOutcome) {
+    assert_eq!(out.issued, out.completions + out.timeouts);
+    assert_eq!(out.duplicate_completions, 0);
+}

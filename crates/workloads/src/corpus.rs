@@ -138,8 +138,22 @@ impl Corpus {
         );
         assert!((0.0..=1.0).contains(&params.topic_mix));
         assert!(params.subject_areas >= 1);
+        // Zipf skews must be validated up front: `Zipf::new` rejects
+        // NaN/negative skews, and a panic from inside the generation
+        // loop would point at the library, not the bad parameter.
+        assert!(
+            params.zipf_s.is_finite() && params.zipf_s >= 0.0,
+            "zipf_s must be finite and non-negative, got {}",
+            params.zipf_s
+        );
+        assert!(
+            params.zipf_area_s.is_finite() && params.zipf_area_s >= 0.0,
+            "zipf_area_s must be finite and non-negative, got {}",
+            params.zipf_area_s
+        );
         let mut rng = SimRng::new(seed).fork(0xD0C5);
-        let zipf = Zipf::new(params.vocab as u64, params.zipf_s).expect("valid zipf");
+        let zipf =
+            Zipf::new(params.vocab as u64, params.zipf_s).expect("vocab and zipf_s checked above");
         // Global Zipf draw with the stopword head rejected.
         let draw_global = |rng: &mut SimRng| -> u32 {
             loop {
@@ -153,8 +167,12 @@ impl Corpus {
         // congruent to `a` modulo the area count, Zipf-ranked within the
         // slice so each area has its own popular and rare vocabulary.
         let areas = params.subject_areas;
+        // The stopword-cutoff assert above guarantees
+        // `vocab - stopwords > 2 * areas`, so every slice holds >= 2 terms.
         let slice_len = (params.vocab - params.stopwords) / areas;
-        let zipf_area = Zipf::new(slice_len as u64, params.zipf_area_s).expect("valid zipf");
+        debug_assert!(slice_len >= 2);
+        let zipf_area = Zipf::new(slice_len as u64, params.zipf_area_s)
+            .expect("slice_len and zipf_area_s checked above");
         let draw_topical = |rng: &mut SimRng, area: usize| -> u32 {
             let rank = zipf_area.sample(rng) as usize; // 1-based within slice
             (params.stopwords + area + (rank - 1) * areas) as u32
@@ -400,5 +418,32 @@ mod tests {
         let head: u32 = c.df[400..450].iter().sum();
         let tail: u32 = c.df[6000..6050].iter().sum();
         assert!(head > tail * 3, "head {head} vs tail {tail}");
+    }
+
+    /// A NaN skew must be rejected at the parameter boundary with a
+    /// message naming the parameter, not surface as a panic from inside
+    /// the Zipf sampler mid-generation.
+    #[test]
+    #[should_panic(expected = "zipf_s must be finite")]
+    fn nan_zipf_skew_is_rejected_up_front() {
+        Corpus::generate(
+            CorpusParams {
+                zipf_s: f64::NAN,
+                ..small()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf_area_s must be finite")]
+    fn negative_area_skew_is_rejected_up_front() {
+        Corpus::generate(
+            CorpusParams {
+                zipf_area_s: -0.5,
+                ..small()
+            },
+            1,
+        );
     }
 }

@@ -48,7 +48,14 @@ pub struct StringWorkload {
 impl StringWorkload {
     /// Generate; deterministic in `(params, seed)`.
     pub fn generate(params: StringWorkloadParams, seed: u64) -> StringWorkload {
-        assert!(!params.alphabet.is_empty());
+        assert!(!params.alphabet.is_empty(), "alphabet must not be empty");
+        // Sequences are exposed as `String`; an alphabet byte outside
+        // ASCII could splice into an invalid UTF-8 sequence and panic
+        // deep inside generation, so reject it at the boundary.
+        assert!(
+            params.alphabet.iter().all(u8::is_ascii),
+            "alphabet must be ASCII bytes"
+        );
         assert!(params.length.0 >= 1 && params.length.1 >= params.length.0);
         let mut rng = SimRng::new(seed).fork(0xD9A);
         let mut sequences = Vec::new();
@@ -57,7 +64,7 @@ impl StringWorkload {
             let ancestor: Vec<u8> = (0..len)
                 .map(|_| params.alphabet[rng.index(params.alphabet.len())])
                 .collect();
-            sequences.push(String::from_utf8(ancestor.clone()).expect("ascii"));
+            sequences.push(String::from_utf8(ancestor.clone()).expect("alphabet checked ASCII"));
             for _ in 0..params.members_per_family {
                 let muts =
                     params.mutations.0 + rng.index(params.mutations.1 - params.mutations.0 + 1);
@@ -65,7 +72,7 @@ impl StringWorkload {
                 for _ in 0..muts {
                     mutate(&mut s, &params.alphabet, &mut rng);
                 }
-                sequences.push(String::from_utf8(s).expect("ascii"));
+                sequences.push(String::from_utf8(s).expect("alphabet checked ASCII"));
             }
         }
         StringWorkload { params, sequences }
@@ -74,6 +81,10 @@ impl StringWorkload {
     /// Query sequences: random members further mutated a little (so the
     /// query is near, but not identical to, its family).
     pub fn queries(&self, n: usize, seed: u64) -> Vec<String> {
+        assert!(
+            !self.sequences.is_empty(),
+            "cannot draw queries from an empty population (families = 0?)"
+        );
         let mut rng = SimRng::new(seed).fork(0x42_D9A);
         (0..n)
             .map(|_| {
@@ -83,7 +94,7 @@ impl StringWorkload {
                 for _ in 0..muts {
                     mutate(&mut s, &self.params.alphabet, &mut rng);
                 }
-                String::from_utf8(s).expect("ascii")
+                String::from_utf8(s).expect("alphabet checked ASCII")
             })
             .collect()
     }
@@ -174,5 +185,44 @@ mod tests {
         let a = StringWorkload::generate(StringWorkloadParams::default(), 5);
         let b = StringWorkload::generate(StringWorkloadParams::default(), 5);
         assert_eq!(a.sequences, b.sequences);
+    }
+
+    /// Bad inputs fail at the boundary with a named parameter, not as a
+    /// UTF-8 or index panic from inside the generation loop.
+    #[test]
+    #[should_panic(expected = "alphabet must be ASCII")]
+    fn non_ascii_alphabet_is_rejected_up_front() {
+        StringWorkload::generate(
+            StringWorkloadParams {
+                alphabet: vec![b'A', 0xC3],
+                ..StringWorkloadParams::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet must not be empty")]
+    fn empty_alphabet_is_rejected_up_front() {
+        StringWorkload::generate(
+            StringWorkloadParams {
+                alphabet: vec![],
+                ..StringWorkloadParams::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn queries_on_empty_population_panic_loudly() {
+        let w = StringWorkload::generate(
+            StringWorkloadParams {
+                families: 0,
+                ..StringWorkloadParams::default()
+            },
+            1,
+        );
+        w.queries(1, 1);
     }
 }
