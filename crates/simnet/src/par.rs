@@ -1,0 +1,921 @@
+//! Conservative time-window parallel execution.
+//!
+//! [`crate::sim::Sim::set_threads`] above 1 switches `run`/`run_until`
+//! from the sequential event loop to this engine. The run is cut into
+//! **windows** `[T, T + W)` where `T` is the next event time and `W` is
+//! the topology's minimum cross-host one-way delay
+//! ([`crate::topology::Topology::min_one_way`]). Within a window, an
+//! agent can only be influenced by other agents through cross-host
+//! messages — and any message sent inside the window arrives at
+//! `send_time + delay >= T + W`, i.e. strictly after the window. So the
+//! window's events partition cleanly by destination: nodes are split
+//! into contiguous **shards**, each shard executes its slice of the
+//! window on its own thread, and at the window barrier every deferred
+//! cross-shard effect is merged back into the global calendar queue.
+//!
+//! # Byte-identical determinism
+//!
+//! The contract is not "statistically equivalent" but **bit-identical to
+//! the sequential loop at every thread count**: same agent states, same
+//! counters, same delivery order, same final clock. Three mechanisms
+//! carry that:
+//!
+//! 1. **Chain keys.** The sequential engine breaks time ties by an
+//!    integer sequence number assigned at push time. A shard cannot know
+//!    what that global counter would have read, so events pushed during
+//!    window execution carry a structural `SeqKey::Chain` rank instead:
+//!    `(parent rank, push index)` — the rank of the event whose callback
+//!    pushed them, and the position of the push within that callback.
+//!    At equal fire time, every pre-window event (integer rank) orders
+//!    before every in-window push (chain rank), exactly as the integer
+//!    counter would have ordered them; chain ranks order among themselves
+//!    lexicographically, which reproduces the counter's order by
+//!    induction over parents (see DESIGN.md §15 for the full argument).
+//!
+//! 2. **Deferred sends.** Cross-host sends draw from the simulation's
+//!    single loss/spike/dup RNG streams, so shards never send directly:
+//!    they record `(src, dst, msg, send position)` and the barrier
+//!    replays every record — merged across shards in the exact order the
+//!    sequential loop would have reached each send — through the same
+//!    `deliver_cross` path in `sim`, against the same RNG streams.
+//!    Window safety guarantees every replayed arrival lands at or after
+//!    the window end, so no replayed event belonged inside the window.
+//!
+//! 3. **Ranked effects.** Side effects that escape the simulation (the
+//!    search layer's telemetry) are order-sensitive only in trace-event
+//!    append order. During window execution [`current_effect_rank`]
+//!    exposes the executing event's rank; instrumentation buffers its
+//!    writes tagged with that rank and applies them sorted, which equals
+//!    sequential execution order (ranks are unique, and window `k + 1`
+//!    ranks are strictly later than window `k`'s because every event
+//!    left after a barrier fires at or after the window end).
+//!
+//! Sparse windows (fewer than a few events per shard) run through the
+//! same shard machinery inline on the driving thread — same arithmetic,
+//! no hand-off cost; dense windows fan out to persistent scoped workers.
+//! `threads = 1`, single-agent populations, and topologies without a
+//! positive latency floor (`W = 0`) never enter this module.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::event::{EventKind, TimerTag};
+use crate::fault::FaultPlane;
+use crate::sim::{deliver_cross, Agent, AgentId, Core, Ctx, Sim};
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// Below this many batch events per shard, a window executes inline on
+/// the driving thread instead of fanning out: the per-window hand-off
+/// (channel sends, barrier receive) costs more than it saves on a
+/// near-empty window.
+const PAR_MIN_BATCH_PER_SHARD: usize = 4;
+
+/// Tie-break rank of one event: either the global calendar queue's
+/// integer sequence number (pre-window events), or a structural chain
+/// rank (events pushed during window execution, where the global counter
+/// is unavailable). See the module docs for why chain ranks reproduce
+/// the integer order.
+#[derive(Clone, Debug)]
+pub(crate) enum SeqKey {
+    /// Assigned by the global calendar queue at push time.
+    Base(u64),
+    /// Pushed while executing `parent`'s callback, as its `idx`-th push.
+    Chain(Arc<ChainNode>),
+}
+
+/// One link of a chain rank. `Arc` so sibling pushes share their parent's
+/// whole chain instead of cloning it; chains stay short (the length of a
+/// same-instant causality chain, typically single digits).
+#[derive(Debug)]
+pub(crate) struct ChainNode {
+    pub(crate) parent: EventKey,
+    pub(crate) idx: u32,
+}
+
+/// Total-order execution key of an event: fire time, then rank.
+#[derive(Clone, Debug)]
+pub(crate) struct EventKey {
+    pub(crate) time: SimTime,
+    pub(crate) seq: SeqKey,
+}
+
+impl EventKey {
+    fn child(parent: &EventKey, idx: u32, time: SimTime) -> EventKey {
+        EventKey {
+            time,
+            seq: SeqKey::Chain(Arc::new(ChainNode {
+                parent: parent.clone(),
+                idx,
+            })),
+        }
+    }
+}
+
+impl Ord for SeqKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (SeqKey::Base(a), SeqKey::Base(b)) => a.cmp(b),
+            // At equal fire time a pre-window event always precedes an
+            // in-window push: the sequential engine would have assigned
+            // the push a larger integer seq than anything already queued.
+            (SeqKey::Base(_), SeqKey::Chain(_)) => Ordering::Less,
+            (SeqKey::Chain(_), SeqKey::Base(_)) => Ordering::Greater,
+            // Chain vs chain: lexicographic on (parent key, push index) —
+            // parents execute in key order, and a callback's pushes get
+            // consecutive seqs, so this reproduces the integer order.
+            (SeqKey::Chain(a), SeqKey::Chain(b)) => {
+                a.parent.cmp(&b.parent).then_with(|| a.idx.cmp(&b.idx))
+            }
+        }
+    }
+}
+impl PartialOrd for SeqKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for SeqKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for SeqKey {}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for EventKey {}
+
+/// Opaque, totally ordered rank of the simulation event currently
+/// executing on this thread. Ranks compare exactly as the sequential
+/// engine would have executed the events, across shards and across
+/// windows — instrumentation layers buffer order-sensitive effects
+/// tagged with this rank and apply them rank-sorted to reproduce the
+/// sequential effect order (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EffectRank(EventKey);
+
+std::thread_local! {
+    static CURRENT_RANK: std::cell::RefCell<Option<EffectRank>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The rank of the simulation event currently executing on this thread,
+/// or `None` outside parallel window execution (sequential runs, driver
+/// code between runs). `None` means effects may be applied immediately:
+/// the caller is already running in sequential order.
+pub fn current_effect_rank() -> Option<EffectRank> {
+    CURRENT_RANK.with(|r| r.borrow().clone())
+}
+
+fn set_effect_rank(rank: Option<EffectRank>) {
+    CURRENT_RANK.with(|r| *r.borrow_mut() = rank);
+}
+
+/// An event owned by one shard during window execution.
+struct LocalEvent<M> {
+    key: EventKey,
+    dst: AgentId,
+    kind: EventKind<M>,
+}
+
+impl<M> Ord for LocalEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: BinaryHeap is a max-heap, earliest key pops first.
+        other.key.cmp(&self.key)
+    }
+}
+impl<M> PartialOrd for LocalEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> PartialEq for LocalEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for LocalEvent<M> {}
+
+/// A cross-host send deferred to the window barrier. `(parent, idx)` is
+/// the send's position in the sequential push order; `send_time` is the
+/// simulated instant the sending callback ran.
+pub(crate) struct SendRecord<M> {
+    src: AgentId,
+    dst: AgentId,
+    msg: M,
+    bytes: u32,
+    send_time: SimTime,
+    parent: EventKey,
+    idx: u32,
+}
+
+/// Counter deltas a shard accumulates during one window; everything the
+/// dispatch loop itself counts. Wire-level counters (messages, bytes,
+/// drops, dups, spikes, partitions) are accounted at barrier replay.
+#[derive(Default)]
+struct ShardStats {
+    events: u64,
+    timers: u64,
+    dropped_down: u64,
+    deferred: u64,
+    crashes: u64,
+    restarts: u64,
+}
+
+impl ShardStats {
+    fn merge_into(&self, stats: &mut NetStats) {
+        stats.events += self.events;
+        stats.timers += self.timers;
+        stats.dropped_down += self.dropped_down;
+        stats.deferred += self.deferred;
+        stats.crashes += self.crashes;
+        stats.restarts += self.restarts;
+    }
+}
+
+/// Per-shard execution state for one window: the local event heap, the
+/// deferred-send log, and the push bookkeeping [`Ctx`] needs. This is
+/// what a shard-mode [`Ctx`] borrows.
+pub(crate) struct ShardState<M> {
+    now: SimTime,
+    heap: BinaryHeap<LocalEvent<M>>,
+    records: Vec<SendRecord<M>>,
+    stats: ShardStats,
+    /// Key of the event whose callback is currently running; parents
+    /// every push the callback makes.
+    cur_parent: EventKey,
+    /// Push counter within the current callback — shared by local pushes
+    /// and send records so the merge preserves their interleaving.
+    cur_idx: u32,
+    /// High-water mark of events/records held by this shard.
+    max_queue: usize,
+}
+
+impl<M> ShardState<M> {
+    fn new(batch: Vec<LocalEvent<M>>) -> Self {
+        let max_queue = batch.len();
+        ShardState {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::from(batch),
+            records: Vec::new(),
+            stats: ShardStats::default(),
+            // Placeholder; overwritten by `begin_dispatch` before any
+            // callback can push.
+            cur_parent: EventKey {
+                time: SimTime::ZERO,
+                seq: SeqKey::Base(0),
+            },
+            cur_idx: 0,
+            max_queue,
+        }
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn begin_dispatch(&mut self, key: &EventKey) {
+        self.cur_parent = key.clone();
+        self.cur_idx = 0;
+    }
+
+    fn next_idx(&mut self) -> u32 {
+        let idx = self.cur_idx;
+        self.cur_idx += 1;
+        idx
+    }
+
+    fn track_peak(&mut self) {
+        self.max_queue = self.max_queue.max(self.heap.len() + self.records.len());
+    }
+
+    /// Shard-mode [`Ctx::send`]: a self-send executes locally (it fires
+    /// at the current instant, inside the window, and touches no RNG);
+    /// anything else is a cross-host send and is deferred to the barrier
+    /// so its fault draws happen in global order.
+    pub(crate) fn send(&mut self, me: AgentId, dst: AgentId, msg: M, bytes: u32) {
+        if dst == me {
+            let idx = self.next_idx();
+            let key = EventKey::child(&self.cur_parent, idx, self.now);
+            self.heap.push(LocalEvent {
+                key,
+                dst,
+                kind: EventKind::Deliver { from: me, msg },
+            });
+        } else {
+            let idx = self.next_idx();
+            self.records.push(SendRecord {
+                src: me,
+                dst,
+                msg,
+                bytes,
+                send_time: self.now,
+                parent: self.cur_parent.clone(),
+                idx,
+            });
+        }
+    }
+
+    /// Shard-mode [`Ctx::schedule`]: timers are always self-addressed,
+    /// so they stay local — executing in-window if they fire before the
+    /// window end, merging back as leftovers otherwise.
+    pub(crate) fn schedule(&mut self, me: AgentId, delay: SimDuration, tag: TimerTag) {
+        let idx = self.next_idx();
+        let key = EventKey::child(&self.cur_parent, idx, self.now + delay);
+        self.heap.push(LocalEvent {
+            key,
+            dst: me,
+            kind: EventKind::Timer { tag },
+        });
+    }
+}
+
+/// The per-agent state a shard owns for the length of one parallel
+/// phase: disjoint `&mut` slices of the [`Sim`]'s agents, liveness
+/// flags, and service-model busy horizons, covering a contiguous id
+/// range starting at `base`. Workers hold their home across every
+/// window of the phase — only event batches travel per window — and
+/// the borrows dissolve when the phase's scope joins.
+struct ShardHome<'a, A: Agent> {
+    base: usize,
+    agents: &'a mut [A],
+    down: &'a mut [bool],
+    busy_until: &'a mut [SimTime],
+}
+
+/// What a shard hands back at the window barrier.
+struct ShardOutput<M> {
+    /// Locally-pushed events that fire at or after the window end —
+    /// always chain-keyed (every calendar-queue event inside the window
+    /// is consumed by execution or deferral).
+    leftovers: Vec<LocalEvent<M>>,
+    records: Vec<SendRecord<M>>,
+    stats: ShardStats,
+    /// Fire time of the shard's last executed event ([`SimTime::ZERO`]
+    /// if the batch was empty).
+    now: SimTime,
+    max_queue: usize,
+}
+
+/// Execute one shard's slice of a window: replicates the sequential
+/// [`Sim::step`] loop — service deferral, crash/restart, down-host
+/// discard, dispatch — over the shard-local heap, stopping at the first
+/// event at or past `window_end`.
+fn run_shard<A: Agent>(
+    chunk: &mut ShardHome<'_, A>,
+    batch: Vec<LocalEvent<A::Msg>>,
+    window_end: SimTime,
+    service: Option<SimDuration>,
+    topo: &Topology,
+) -> ShardOutput<A::Msg> {
+    let mut sh = ShardState::new(batch);
+    let base = chunk.base;
+    loop {
+        match sh.heap.peek() {
+            Some(head) if head.key.time < window_end => {}
+            _ => break,
+        }
+        let ev = match sh.heap.pop() {
+            Some(ev) => ev,
+            None => unreachable!("peeked a head event above"),
+        };
+        let local = ev.dst.0 - base;
+        debug_assert!(ev.key.time >= sh.now, "shard heap went backwards");
+        sh.now = ev.key.time;
+        // Finite-capacity model, exactly as the sequential step: a
+        // delivery to a busy host re-queues once as a `Serve` at the
+        // reserved slot. The re-push takes the consumed delivery's
+        // execution slot in the push order: parent = its key, index 0.
+        if let Some(service) = service {
+            if matches!(ev.kind, EventKind::Deliver { .. }) && !chunk.down[local] {
+                let busy = chunk.busy_until[local];
+                if busy > ev.key.time {
+                    sh.stats.deferred += 1;
+                    chunk.busy_until[local] = busy + service;
+                    let LocalEvent { key, dst, kind } = ev;
+                    let EventKind::Deliver { from, msg } = kind else {
+                        unreachable!("matched Deliver above")
+                    };
+                    sh.heap.push(LocalEvent {
+                        key: EventKey::child(&key, 0, busy),
+                        dst,
+                        kind: EventKind::Serve { from, msg },
+                    });
+                    sh.track_peak();
+                    continue;
+                }
+                chunk.busy_until[local] = ev.key.time + service;
+            }
+        }
+        sh.stats.events += 1;
+        // Tag effects (telemetry through agent handles) with this
+        // event's rank so instrumentation can restore global order.
+        set_effect_rank(Some(EffectRank(ev.key.clone())));
+        match ev.kind {
+            EventKind::Crash => {
+                chunk.down[local] = true;
+                sh.stats.crashes += 1;
+                chunk.agents[local].on_crash();
+                continue;
+            }
+            EventKind::Restart => {
+                chunk.down[local] = false;
+                sh.stats.restarts += 1;
+                sh.begin_dispatch(&ev.key);
+                let ctx = &mut Ctx::shard(&mut sh, topo, ev.dst);
+                chunk.agents[local].on_restart(ctx);
+                sh.track_peak();
+                continue;
+            }
+            _ => {}
+        }
+        if chunk.down[local] {
+            if matches!(ev.kind, EventKind::Deliver { .. } | EventKind::Serve { .. }) {
+                sh.stats.dropped_down += 1;
+            }
+            continue;
+        }
+        sh.begin_dispatch(&ev.key);
+        let dst = ev.dst;
+        match ev.kind {
+            EventKind::Deliver { from, msg } | EventKind::Serve { from, msg } => {
+                let ctx = &mut Ctx::shard(&mut sh, topo, dst);
+                chunk.agents[local].on_message(ctx, from, msg);
+            }
+            EventKind::Timer { tag } => {
+                let ctx = &mut Ctx::shard(&mut sh, topo, dst);
+                chunk.agents[local].on_timer(ctx, tag);
+                sh.stats.timers += 1;
+            }
+            EventKind::Crash | EventKind::Restart => unreachable!("handled above"),
+        }
+        sh.track_peak();
+    }
+    set_effect_rank(None);
+    ShardOutput {
+        leftovers: sh.heap.into_vec(),
+        records: sh.records,
+        stats: sh.stats,
+        now: sh.now,
+        max_queue: sh.max_queue,
+    }
+}
+
+/// One deferred push awaiting barrier replay: either a shard-local
+/// leftover event or a deferred cross-host send.
+enum MergeItem<M> {
+    Leftover(LocalEvent<M>),
+    Send(SendRecord<M>),
+}
+
+impl<M> MergeItem<M> {
+    /// Position of this push in the sequential engine's push order: the
+    /// executing parent's rank, then the push index within its callback.
+    /// Unique across every item of a window (one counter per callback),
+    /// so the sort below is a total order.
+    fn merge_key(&self) -> (&EventKey, u32) {
+        match self {
+            MergeItem::Leftover(ev) => match &ev.key.seq {
+                SeqKey::Chain(node) => (&node.parent, node.idx),
+                SeqKey::Base(_) => unreachable!(
+                    "window leftovers are always chain-keyed: every \
+                     calendar-queue event inside the window is consumed"
+                ),
+            },
+            MergeItem::Send(r) => (&r.parent, r.idx),
+        }
+    }
+}
+
+/// One window's work order for a shard, shipped to the worker that
+/// owns the shard's home for the current parallel phase.
+struct Job<M> {
+    batch: Vec<LocalEvent<M>>,
+    window_end: SimTime,
+}
+
+/// Why a parallel phase handed control back to the phase loop.
+enum PhaseExit {
+    /// Queue empty or next event past the horizon: the run is over.
+    Done,
+    /// A streak of near-empty windows: resume sequential stepping.
+    WentSparse,
+}
+
+/// After this many consecutive below-threshold windows, a parallel
+/// phase folds back into the sequential loop. The hysteresis keeps a
+/// brief lull inside a dense burst from thrashing worker spawn/join.
+const PAR_EXIT_STREAK: usize = 8;
+
+/// `SIMNET_PAR_DEBUG=1` run profile: the first thing to look at when a
+/// parallel run fails to beat the sequential loop (dense windows are
+/// where the speedup lives; sequential-stretch events cost nothing).
+struct Profile {
+    t0: std::time::Instant,
+    seq_windows: u64,
+    seq_events: u64,
+    phases: u64,
+    windows: u64,
+    dense: u64,
+    events: u64,
+    dense_events: u64,
+    merged: u64,
+}
+
+impl Profile {
+    fn new() -> Profile {
+        Profile {
+            t0: std::time::Instant::now(),
+            seq_windows: 0,
+            seq_events: 0,
+            phases: 0,
+            windows: 0,
+            dense: 0,
+            events: 0,
+            dense_events: 0,
+            merged: 0,
+        }
+    }
+
+    fn report(&self, w: u64, n_shards: usize) {
+        eprintln!(
+            "simnet par: seq {} windows / {} events; {} parallel phases: \
+             {} windows ({} dense), {} events ({} in dense, {:.1}/window), \
+             {} merged effects, w={w}ns shards={n_shards}, {:.0} ms",
+            self.seq_windows,
+            self.seq_events,
+            self.phases,
+            self.windows,
+            self.dense,
+            self.events,
+            self.dense_events,
+            self.events as f64 / self.windows.max(1) as f64,
+            self.merged,
+            self.t0.elapsed().as_secs_f64() * 1e3,
+        );
+    }
+}
+
+/// Window end for a window opening at `start`: `start + W`, clamped so
+/// events at exactly `horizon` are still included (`run_until`
+/// semantics; `run` passes [`SimTime::MAX`]).
+fn window_end(start: SimTime, w: u64, horizon: SimTime) -> SimTime {
+    SimTime(start.0.saturating_add(w).min(horizon.0.saturating_add(1)))
+}
+
+/// The parallel run loop: alternate **sequential stretches** (the real
+/// sequential loop — zero window overhead — watching per-window event
+/// density) with **parallel phases** (dense traffic fanned out to shard
+/// workers). Both modes produce byte-identical results, so the switch
+/// heuristic is free to chase wall clock only. Does not touch `now`
+/// beyond the last executed event — the callers own the final horizon
+/// clamp.
+pub(crate) fn run_parallel<A>(sim: &mut Sim<A>, horizon: SimTime)
+where
+    A: Agent + Send,
+    A::Msg: Clone + Send,
+{
+    let n = sim.agents.len();
+    let threads = sim.threads();
+    let w = sim.core.topo.min_one_way().0;
+    debug_assert!(
+        threads > 1 && n > 1 && w > 0,
+        "checked by parallel_eligible"
+    );
+    let chunk_size = n.div_ceil(threads.min(n));
+    let n_shards = n.div_ceil(chunk_size);
+    // One shared density threshold: a window clearing it is worth
+    // fanning out; a streak of windows below it is not.
+    let dense_threshold = PAR_MIN_BATCH_PER_SHARD * n_shards;
+
+    let mut profile = std::env::var_os("SIMNET_PAR_DEBUG")
+        .is_some()
+        .then(Profile::new);
+
+    loop {
+        // ---- Sequential stretch.
+        let mut saw_dense = false;
+        while let Some(start) = sim.core.queue.peek_time() {
+            if start > horizon {
+                break;
+            }
+            let wend = window_end(start, w, horizon);
+            let mut count = 0usize;
+            while let Some(t) = sim.core.queue.peek_time() {
+                if t >= wend {
+                    break;
+                }
+                sim.step();
+                count += 1;
+            }
+            if let Some(p) = profile.as_mut() {
+                p.seq_windows += 1;
+                p.seq_events += count as u64;
+            }
+            if count >= dense_threshold {
+                saw_dense = true;
+                break;
+            }
+        }
+        if !saw_dense {
+            break;
+        }
+        // ---- Parallel phase, until the traffic thins out again.
+        if let Some(p) = profile.as_mut() {
+            p.phases += 1;
+        }
+        match parallel_phase(sim, horizon, w, chunk_size, n_shards, &mut profile) {
+            PhaseExit::Done => break,
+            PhaseExit::WentSparse => {}
+        }
+    }
+    if let Some(p) = profile {
+        p.report(w, n_shards);
+    }
+}
+
+/// One parallel phase: spawn a scoped worker per shard (minus the
+/// driver's own shard 0), hand each its disjoint `&mut` home into the
+/// [`Sim`]'s agent storage, then drive windows — pop + route, fan out,
+/// barrier-merge — until the run ends or [`PAR_EXIT_STREAK`] windows in
+/// a row come in under `PAR_MIN_BATCH_PER_SHARD * n_shards` events.
+fn parallel_phase<A>(
+    sim: &mut Sim<A>,
+    horizon: SimTime,
+    w: u64,
+    chunk_size: usize,
+    n_shards: usize,
+    profile: &mut Option<Profile>,
+) -> PhaseExit
+where
+    A: Agent + Send,
+    A::Msg: Clone + Send,
+{
+    let dense_threshold = PAR_MIN_BATCH_PER_SHARD * n_shards;
+    let mut par_peak = sim.par_peak;
+    let agents = sim.agents.as_mut_slice();
+    // Disjoint field borrows: workers hold `&Topology` and their homes
+    // for the whole scope while the barrier mutates the queue, stats,
+    // and fault RNGs.
+    let Core {
+        now,
+        queue,
+        topo,
+        stats,
+        faults,
+        drop_rng,
+        dup_rng,
+        spike_rng,
+        service,
+        down,
+        busy_until,
+        ..
+    } = &mut sim.core;
+    let topo: &Topology = topo;
+    let faults: &FaultPlane = faults;
+    let service: Option<SimDuration> = *service;
+
+    // Split the per-agent state into one home per shard.
+    let mut homes = agents
+        .chunks_mut(chunk_size)
+        .zip(down.chunks_mut(chunk_size))
+        .zip(busy_until.chunks_mut(chunk_size))
+        .enumerate()
+        .map(|(s, ((agents, down), busy_until))| ShardHome {
+            base: s * chunk_size,
+            agents,
+            down,
+            busy_until,
+        });
+
+    let exit = std::thread::scope(|scope| {
+        let (result_tx, result_rx) = mpsc::channel::<ShardOutput<A::Msg>>();
+        let mut home0 = match homes.next() {
+            Some(h) => h,
+            None => unreachable!("n_shards >= 1 homes by construction"),
+        };
+        let workers: Vec<mpsc::Sender<Job<A::Msg>>> = (1..n_shards)
+            .zip(homes)
+            .map(|(_, mut home)| {
+                let (job_tx, job_rx) = mpsc::channel::<Job<A::Msg>>();
+                let worker_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(Job { batch, window_end }) = job_rx.recv() {
+                        let out = run_shard(&mut home, batch, window_end, service, topo);
+                        if worker_tx.send(out).is_err() {
+                            // Driver gone (panic unwinding); stop.
+                            break;
+                        }
+                    }
+                });
+                job_tx
+            })
+            .collect();
+
+        // Per-shard routing buffers, reused across windows.
+        let mut batches: Vec<Vec<LocalEvent<A::Msg>>> = (0..n_shards).map(|_| Vec::new()).collect();
+        let mut sparse_streak = 0usize;
+        let exit = loop {
+            let Some(start) = queue.peek_time() else {
+                break PhaseExit::Done;
+            };
+            if start > horizon {
+                break PhaseExit::Done;
+            }
+            let wend = window_end(start, w, horizon);
+
+            // Pop the window's batch, routed to each shard's buffer.
+            let mut batch_len = 0usize;
+            while let Some(t) = queue.peek_time() {
+                if t >= wend {
+                    break;
+                }
+                let Some(ev) = queue.pop() else {
+                    unreachable!("peeked a time above")
+                };
+                batches[ev.dst.0 / chunk_size].push(LocalEvent {
+                    key: EventKey {
+                        time: ev.time,
+                        seq: SeqKey::Base(ev.seq),
+                    },
+                    dst: ev.dst,
+                    kind: ev.kind,
+                });
+                batch_len += 1;
+            }
+            debug_assert!(batch_len > 0, "peek_time promised an event in-window");
+            let dense = batch_len >= dense_threshold;
+            sparse_streak = if dense { 0 } else { sparse_streak + 1 };
+            if let Some(p) = profile.as_mut() {
+                p.windows += 1;
+                p.events += batch_len as u64;
+                if dense {
+                    p.dense += 1;
+                    p.dense_events += batch_len as u64;
+                }
+            }
+
+            // Fan out: shards 1.. to their workers, shard 0 inline.
+            let mut in_flight = 0usize;
+            for (s, batch) in batches.iter_mut().enumerate().skip(1) {
+                if batch.is_empty() {
+                    continue;
+                }
+                let job = Job {
+                    batch: std::mem::take(batch),
+                    window_end: wend,
+                };
+                if workers[s - 1].send(job).is_err() {
+                    panic!("parallel worker {s} exited before the run finished");
+                }
+                in_flight += 1;
+            }
+            let mut outputs: Vec<ShardOutput<A::Msg>> = Vec::with_capacity(in_flight + 1);
+            if !batches[0].is_empty() {
+                let batch = std::mem::take(&mut batches[0]);
+                outputs.push(run_shard(&mut home0, batch, wend, service, topo));
+            }
+            for _ in 0..in_flight {
+                let Ok(out) = result_rx.recv() else {
+                    panic!("parallel worker died mid-window");
+                };
+                outputs.push(out);
+            }
+
+            // ---- Window barrier: merge every deferred push back into
+            // the global queue in the sequential engine's push order.
+            let mut items: Vec<MergeItem<A::Msg>> = Vec::new();
+            let mut shard_queued = 0usize;
+            for out in outputs {
+                *now = (*now).max(out.now);
+                out.stats.merge_into(stats);
+                shard_queued += out.max_queue;
+                items.extend(out.leftovers.into_iter().map(MergeItem::Leftover));
+                items.extend(out.records.into_iter().map(MergeItem::Send));
+            }
+            // High-water mark including the populations shards held.
+            par_peak = par_peak.max(queue.len() + shard_queued);
+            if let Some(p) = profile.as_mut() {
+                p.merged += items.len() as u64;
+            }
+            items.sort_unstable_by(|a, b| a.merge_key().cmp(&b.merge_key()));
+            for item in items {
+                match item {
+                    MergeItem::Leftover(ev) => {
+                        debug_assert!(ev.key.time >= wend, "leftover inside window");
+                        queue.push(ev.key.time, ev.dst, ev.kind);
+                    }
+                    MergeItem::Send(r) => {
+                        debug_assert!(
+                            r.send_time.0.saturating_add(w) >= wend.0,
+                            "window-safety violation: send could arrive in-window"
+                        );
+                        deliver_cross(
+                            queue,
+                            stats,
+                            faults,
+                            drop_rng,
+                            spike_rng,
+                            dup_rng,
+                            topo,
+                            r.send_time,
+                            r.src,
+                            r.dst,
+                            r.msg,
+                            r.bytes,
+                        );
+                    }
+                }
+            }
+
+            if sparse_streak >= PAR_EXIT_STREAK {
+                break PhaseExit::WentSparse;
+            }
+        };
+        // Dropping the job senders ends the workers; the scope joins
+        // them, dissolving every borrowed home.
+        drop(workers);
+        drop(result_tx);
+        exit
+    });
+    sim.par_peak = par_peak;
+    exit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(time: u64, seq: u64) -> EventKey {
+        EventKey {
+            time: SimTime(time),
+            seq: SeqKey::Base(seq),
+        }
+    }
+
+    #[test]
+    fn base_keys_order_like_the_calendar_queue() {
+        assert!(base(5, 0) < base(6, 0));
+        assert!(base(5, 0) < base(5, 1));
+        assert_eq!(base(5, 3), base(5, 3));
+    }
+
+    #[test]
+    fn pre_window_events_precede_in_window_pushes_at_equal_time() {
+        let parent = base(5, 9);
+        let child = EventKey::child(&parent, 0, SimTime(5));
+        // Same fire time: the pre-window (integer-seq) event wins, as the
+        // sequential engine's push-time counter would have ordered them.
+        assert!(base(5, 123_456) < child);
+        assert!(child > base(5, 0));
+        // At a later time the chain key wins regardless of rank kind.
+        assert!(child < base(6, 0));
+    }
+
+    #[test]
+    fn chain_keys_order_lexicographically_by_parent_then_index() {
+        let p1 = base(5, 1);
+        let p2 = base(5, 2);
+        let a = EventKey::child(&p1, 0, SimTime(5));
+        let b = EventKey::child(&p1, 1, SimTime(5));
+        let c = EventKey::child(&p2, 0, SimTime(5));
+        assert!(a < b, "same parent: push order decides");
+        assert!(b < c, "earlier parent precedes later parent");
+        // Grandchildren: a's children order before b's children.
+        let aa = EventKey::child(&a, 7, SimTime(5));
+        let ba = EventKey::child(&b, 0, SimTime(5));
+        assert!(aa < ba);
+        assert!(aa > a, "a child at the same time follows its parent");
+    }
+
+    #[test]
+    fn effect_rank_is_scoped_to_window_execution() {
+        assert!(current_effect_rank().is_none());
+        set_effect_rank(Some(EffectRank(base(1, 0))));
+        let r1 = current_effect_rank().expect("rank set");
+        set_effect_rank(Some(EffectRank(base(2, 0))));
+        let r2 = current_effect_rank().expect("rank set");
+        assert!(r1 < r2);
+        set_effect_rank(None);
+        assert!(current_effect_rank().is_none());
+    }
+}

@@ -75,6 +75,7 @@ pub use routing::{
 };
 pub use store::{Entry, ScanStats, Store};
 pub use system::{
-    IndexSpec, LoadBalanceConfig, QueryOutcome, QuerySpec, SearchSystem, SystemConfig,
+    threads_from_env, IndexSpec, LoadBalanceConfig, QueryOutcome, QuerySpec, SearchSystem,
+    SystemConfig,
 };
 pub use telemetry::{QuerySummary, QueryTrace, Telemetry, TraceEvent};

@@ -64,6 +64,29 @@ pub struct SystemConfig {
     /// and the hot-range result cache. `None` (default) keeps the wire
     /// protocol byte-identical to the unoptimized implementation.
     pub routing_opt: Option<RoutingOptConfig>,
+    /// Worker threads for the simulation event loop (see
+    /// [`simnet::Sim::set_threads`]). Results are bit-identical at every
+    /// setting; this is purely a wall-clock knob, so it is deliberately
+    /// *not* part of the telemetry snapshot. Defaults to the
+    /// `SIMSEARCH_THREADS` environment variable, or 1.
+    pub threads: usize,
+    /// Run the windowed parallel engine even when the host reports a
+    /// single CPU (see [`simnet::Sim::force_parallel`]). Results are
+    /// bit-identical either way, so like `threads` this never enters
+    /// the telemetry snapshot; it exists so determinism tests exercise
+    /// the real merge machinery on any hardware. Defaults to whether
+    /// the `SIMSEARCH_FORCE_PAR` environment variable is set.
+    pub force_parallel: bool,
+}
+
+/// Read the `SIMSEARCH_THREADS` environment variable: a positive thread
+/// count, or 1 when unset, unparsable, or zero.
+pub fn threads_from_env() -> usize {
+    std::env::var("SIMSEARCH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for SystemConfig {
@@ -82,6 +105,8 @@ impl Default for SystemConfig {
             overlay: OverlayKind::Chord,
             resilience: None,
             routing_opt: None,
+            threads: threads_from_env(),
+            force_parallel: std::env::var_os("SIMSEARCH_FORCE_PAR").is_some(),
         }
     }
 }
@@ -116,7 +141,7 @@ pub struct QuerySpec {
 }
 
 /// Per-query outcome: the paper's metric set.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryOutcome {
     /// Query id (position in the submitted workload).
     pub qid: QueryId,
@@ -366,7 +391,9 @@ impl SearchSystem {
             )
         });
 
-        let sim = Sim::new(topo, nodes, cfg.seed ^ 0x51);
+        let mut sim = Sim::new(topo, nodes, cfg.seed ^ 0x51);
+        sim.set_threads(cfg.threads);
+        sim.force_parallel(cfg.force_parallel);
         let mut system = SearchSystem {
             sim,
             ring,

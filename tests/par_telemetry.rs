@@ -1,0 +1,192 @@
+//! Cross-thread-count determinism gate: the full 64-node golden-style
+//! scenarios — plain, loss + churn + replication, and the routing-
+//! optimization cache scenario — must serialize **byte-identical**
+//! telemetry snapshots at `threads ∈ {1, 2, 8}`, with equal query
+//! outcomes. `threads = 1` is the untouched sequential loop; any byte of
+//! divergence means the parallel window engine reordered an observable
+//! effect. This is the system-level counterpart of
+//! `crates/simnet/tests/par_equivalence.rs`.
+
+use std::sync::Arc;
+
+use landmark::{boundary_from_metric, kmeans, Mapper};
+use metric::{Metric, ObjectId, L2};
+use simnet::{SimRng, SimTime};
+use simsearch::{
+    IndexSpec, QueryDistance, QueryId, QueryOutcome, QuerySpec, ResilienceConfig, RoutingOptConfig,
+    SearchSystem, SystemConfig,
+};
+use workloads::{ClusteredParams, ClusteredVectors};
+
+const SEED: u64 = 64821;
+const N_QUERIES: usize = 8;
+const MEAN_INTERARRIVAL_S: f64 = 10.0;
+
+struct Workload {
+    queries: Vec<QuerySpec>,
+    spec: IndexSpec,
+    oracle: Arc<dyn QueryDistance>,
+    metric: L2,
+}
+
+fn workload() -> Workload {
+    let data = ClusteredVectors::generate(
+        ClusteredParams {
+            dims: 12,
+            clusters: 5,
+            deviation: 9.0,
+            n_objects: 2_000,
+            ..ClusteredParams::default()
+        },
+        SEED,
+    );
+    let metric = L2::bounded(12, 0.0, 100.0);
+    let mut rng = SimRng::new(SEED);
+    let sample: Vec<Vec<f32>> = rng
+        .sample_indices(data.objects.len(), 250)
+        .into_iter()
+        .map(|i| data.objects[i].clone())
+        .collect();
+    let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 5, 10, &mut rng);
+    let mapper = Mapper::new(metric, landmarks);
+    let points = mapper.map_all::<[f32], _>(&data.objects);
+
+    let qpoints = data.queries(N_QUERIES, SEED ^ 7);
+    let radius = 0.05 * data.max_distance();
+    let queries: Vec<QuerySpec> = qpoints
+        .iter()
+        .map(|q| QuerySpec {
+            index: 0,
+            point: mapper.map(q.as_slice()).into_vec(),
+            radius,
+            truth: data
+                .objects
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| L2::new().distance(q.as_slice(), o.as_slice()) <= radius)
+                .map(|(i, _)| ObjectId(i as u32))
+                .collect(),
+        })
+        .collect();
+
+    let objects = Arc::new(data.objects.clone());
+    let qp = Arc::new(qpoints);
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        L2::new().distance(
+            qp[qid as usize].as_slice(),
+            objects[obj.0 as usize].as_slice(),
+        )
+    });
+    Workload {
+        queries,
+        spec: IndexSpec {
+            name: "par".into(),
+            boundary: boundary_from_metric(&metric, 5).unwrap().dims,
+            points,
+            rotate: true,
+        },
+        oracle,
+        metric,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Flavor {
+    Plain,
+    ChurnLossReplicated,
+    RoutingOpt,
+}
+
+fn run_flavor(w: &Workload, flavor: Flavor, threads: usize) -> (Vec<QueryOutcome>, String) {
+    let _ = w.metric;
+    let mut system = SearchSystem::build(
+        SystemConfig {
+            n_nodes: 64,
+            seed: SEED,
+            knn_k: 200,
+            resilience: match flavor {
+                Flavor::ChurnLossReplicated => Some(ResilienceConfig::default()),
+                _ => None,
+            },
+            routing_opt: match flavor {
+                Flavor::RoutingOpt => Some(RoutingOptConfig::default()),
+                _ => None,
+            },
+            threads,
+            // Exercise the real windowed engine even on single-core CI
+            // hosts, where the cores gate would otherwise fall back to
+            // the sequential loop and these comparisons would pass
+            // vacuously.
+            force_parallel: true,
+            ..SystemConfig::default()
+        },
+        std::slice::from_ref(&w.spec),
+        w.oracle.clone(),
+    );
+    if let Flavor::ChurnLossReplicated = flavor {
+        system.set_loss_rate(0.10);
+        // Two deterministic victims: never a query origin, never
+        // ring-adjacent to the other victim.
+        let origins: Vec<simnet::AgentId> = system
+            .query_schedule(N_QUERIES, MEAN_INTERARRIVAL_S)
+            .into_iter()
+            .map(|(_, o)| o)
+            .collect();
+        let ring: Vec<simnet::AgentId> = system.ring().nodes().iter().map(|n| n.addr).collect();
+        let n_ring = ring.len();
+        let mut victims: Vec<usize> = Vec::new();
+        for (pos, addr) in ring.iter().enumerate() {
+            if victims.len() == 2 {
+                break;
+            }
+            let adjacent = victims
+                .iter()
+                .any(|&v| (pos + n_ring - v) % n_ring <= 1 || (v + n_ring - pos) % n_ring <= 1);
+            if !origins.contains(addr) && !adjacent {
+                victims.push(pos);
+            }
+        }
+        assert_eq!(victims.len(), 2, "could not pick churn victims");
+        for (i, &pos) in victims.iter().enumerate() {
+            system.schedule_crash(SimTime::from_secs_f64(5.0 + 12.0 * i as f64), ring[pos]);
+            system.schedule_restart(SimTime::from_secs_f64(40.0 + 12.0 * i as f64), ring[pos]);
+        }
+    }
+    let outcomes = system.run_queries(&w.queries, MEAN_INTERARRIVAL_S);
+    (outcomes, system.telemetry_json())
+}
+
+fn assert_thread_invariant(flavor: Flavor, label: &str) {
+    let w = workload();
+    let (base_outcomes, base_json) = run_flavor(&w, flavor, 1);
+    assert_eq!(base_outcomes.len(), N_QUERIES);
+    for threads in [2, 8] {
+        let (outcomes, json) = run_flavor(&w, flavor, threads);
+        assert_eq!(
+            base_outcomes, outcomes,
+            "{label}: query outcomes diverged at {threads} threads"
+        );
+        assert!(
+            base_json == json,
+            "{label}: telemetry snapshot not byte-identical at {threads} threads \
+             (len {} vs {})",
+            base_json.len(),
+            json.len()
+        );
+    }
+}
+
+#[test]
+fn plain_snapshot_is_byte_identical_across_thread_counts() {
+    assert_thread_invariant(Flavor::Plain, "plain");
+}
+
+#[test]
+fn churn_loss_replicated_snapshot_is_byte_identical_across_thread_counts() {
+    assert_thread_invariant(Flavor::ChurnLossReplicated, "churn+loss+r2");
+}
+
+#[test]
+fn routing_opt_snapshot_is_byte_identical_across_thread_counts() {
+    assert_thread_invariant(Flavor::RoutingOpt, "routing_opt");
+}
