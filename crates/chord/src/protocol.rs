@@ -1,5 +1,7 @@
-//! The live Chord protocol over [`simnet`]: recursive lookups, joins,
-//! stabilization, finger repair, and proximity neighbor selection.
+//! The live Chord protocol as a sans-io [`sansio::Protocol`]: recursive
+//! lookups, joins, stabilization, finger repair, and proximity neighbor
+//! selection. A thin [`simnet::Agent`] adapter at the bottom drives the
+//! same state machine under the deterministic simulator.
 //!
 //! The index experiments start from pre-stabilized tables (see
 //! [`crate::ring`]); this module exists to *justify* that shortcut — the
@@ -8,8 +10,9 @@
 
 use std::collections::HashMap;
 
+use sansio::{Input, ProtoCtx, Protocol};
 use simnet::telemetry::SharedRegistry;
-use simnet::{Agent, AgentId, Ctx, SimDuration, SimTime, TimerTag};
+use simnet::{AgentId, SimDuration, SimTime, TimerTag};
 
 use crate::id::{ChordId, NodeRef};
 use crate::table::{RouteDecision, RoutingTable, FINGER_ROWS};
@@ -194,7 +197,8 @@ enum Pending {
     },
 }
 
-/// One Chord node as a [`simnet::Agent`].
+/// One Chord node as a sans-io [`sansio::Protocol`] (driven under the
+/// simulator via the [`simnet::Agent`] adapter below).
 pub struct ChordAgent {
     /// Routing state (public for test inspection).
     pub table: RoutingTable,
@@ -267,13 +271,13 @@ impl ChordAgent {
         }
     }
 
-    fn send(&self, ctx: &mut Ctx<'_, ChordMsg>, to: NodeRef, msg: ChordMsg) {
+    fn send(&self, ctx: &mut ProtoCtx<'_, ChordMsg>, to: NodeRef, msg: ChordMsg) {
         let bytes = msg_bytes(&msg);
         self.count_msg(&msg, bytes);
         ctx.send(to.addr, msg, bytes);
     }
 
-    fn issue_lookup(&mut self, ctx: &mut Ctx<'_, ChordMsg>, key: ChordId, purpose: Pending) {
+    fn issue_lookup(&mut self, ctx: &mut ProtoCtx<'_, ChordMsg>, key: ChordId, purpose: Pending) {
         let req = self.next_req;
         self.next_req += 1;
         self.pending.insert(req, purpose);
@@ -292,7 +296,7 @@ impl ChordAgent {
         );
     }
 
-    fn become_joined(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+    fn become_joined(&mut self, ctx: &mut ProtoCtx<'_, ChordMsg>) {
         if self.joined {
             return;
         }
@@ -304,7 +308,7 @@ impl ChordAgent {
 
     fn handle_find_successor(
         &mut self,
-        ctx: &mut Ctx<'_, ChordMsg>,
+        ctx: &mut ProtoCtx<'_, ChordMsg>,
         key: ChordId,
         origin: NodeRef,
         req: u64,
@@ -362,7 +366,7 @@ impl ChordAgent {
 
     fn handle_found(
         &mut self,
-        ctx: &mut Ctx<'_, ChordMsg>,
+        ctx: &mut ProtoCtx<'_, ChordMsg>,
         owner: NodeRef,
         candidates: Vec<NodeRef>,
         req: u64,
@@ -423,7 +427,7 @@ impl ChordAgent {
         SimDuration(self.cfg.stabilize_every.0 * 4)
     }
 
-    fn stabilize(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+    fn stabilize(&mut self, ctx: &mut ProtoCtx<'_, ChordMsg>) {
         let now = ctx.now();
         // A probe from an earlier tick is still unanswered: once it has
         // aged past the reply timeout the successor is dead — scrub it
@@ -448,7 +452,7 @@ impl ChordAgent {
     /// over the table, predecessor included); a probe unanswered for
     /// [`Self::reply_timeout`] removes the node from every table slot.
     /// Also garbage-collects and retries stale pending lookups.
-    fn failure_check(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+    fn failure_check(&mut self, ctx: &mut ProtoCtx<'_, ChordMsg>) {
         let now = ctx.now();
         if let Some((suspect, _, sent)) = self.outstanding_ping {
             if now.since(sent) >= self.reply_timeout() {
@@ -518,7 +522,7 @@ impl ChordAgent {
 
     fn on_predecessor_reply(
         &mut self,
-        ctx: &mut Ctx<'_, ChordMsg>,
+        ctx: &mut ProtoCtx<'_, ChordMsg>,
         from: AgentId,
         node: NodeRef,
         pred: Option<NodeRef>,
@@ -559,7 +563,7 @@ impl ChordAgent {
         }
     }
 
-    fn fix_fingers(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+    fn fix_fingers(&mut self, ctx: &mut ProtoCtx<'_, ChordMsg>) {
         for _ in 0..self.cfg.fingers_per_tick {
             let row = self.next_finger_row;
             self.next_finger_row = (self.next_finger_row + 1) % FINGER_ROWS;
@@ -569,10 +573,10 @@ impl ChordAgent {
     }
 }
 
-impl Agent for ChordAgent {
+impl Protocol for ChordAgent {
     type Msg = ChordMsg;
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, ChordMsg>, from: AgentId, msg: ChordMsg) {
+    fn on_message(&mut self, ctx: &mut ProtoCtx<'_, ChordMsg>, from: AgentId, msg: ChordMsg) {
         if !self.alive {
             return; // crashed: silent to the whole world
         }
@@ -756,7 +760,7 @@ impl Agent for ChordAgent {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, ChordMsg>, tag: TimerTag) {
+    fn on_timer(&mut self, ctx: &mut ProtoCtx<'_, ChordMsg>, tag: TimerTag) {
         if !self.alive {
             return; // crashed: timers fizzle, nothing is rescheduled
         }
@@ -775,5 +779,21 @@ impl Agent for ChordAgent {
             }
             other => unreachable!("unknown timer {other:?}"),
         }
+    }
+}
+
+/// The simulator driver: each simnet callback runs the sans-io core via
+/// [`sansio::drive`], which buffers the core's outputs and replays them
+/// through the simulator in exact emission order — byte-identical event
+/// sequences to the pre-refactor direct-call code.
+impl simnet::Agent for ChordAgent {
+    type Msg = ChordMsg;
+
+    fn on_message(&mut self, ctx: &mut simnet::Ctx<'_, ChordMsg>, from: AgentId, msg: ChordMsg) {
+        sansio::drive(self, ctx, Input::Message { from, msg });
+    }
+
+    fn on_timer(&mut self, ctx: &mut simnet::Ctx<'_, ChordMsg>, tag: TimerTag) {
+        sansio::drive(self, ctx, Input::Timer(tag));
     }
 }

@@ -1,0 +1,829 @@
+//! The real-socket driver: a `std::net` TCP event loop around the
+//! sans-io [`SearchNode`] core.
+//!
+//! One process hosts one node. The protocol state machine runs on the
+//! main thread, exactly as in the simulator: every inbound frame and
+//! every expired timer becomes one [`sansio::Input`], every resulting
+//! [`sansio::Output::Send`] goes to a per-peer writer thread, and every
+//! [`sansio::Output::Timer`] is armed on a shared timer wheel the event
+//! loop sleeps against. The core never sees a socket.
+//!
+//! ## Threads
+//!
+//! * **event loop** (main thread) — owns the [`SearchNode`]; the only
+//!   thread that touches protocol state.
+//! * **accept thread** — takes new connections, classifies them by
+//!   their first frame ([`Frame::Hello`]) and spawns a reader per
+//!   connection.
+//! * **peer readers** — decode [`Frame::Search`] frames and forward
+//!   them to the event loop over an mpsc channel.
+//! * **peer writers** — one lazily-started thread per outbound peer,
+//!   owning that peer's [`TcpStream`]; the event loop never blocks on a
+//!   slow peer.
+//! * **client handlers** — sequential request/reply loops; requests are
+//!   serviced by the event loop via a per-connection reply channel.
+//!
+//! ## Bootstrap
+//!
+//! There is no dynamic membership (the simulator's worlds are static
+//! too): the seed node collects one [`Frame::JoinRequest`] per expected
+//! joiner, sorts all listen addresses, assigns agent indices in sorted
+//! order and broadcasts the [`Frame::Members`] list. Every process then
+//! recomputes the identical evenly-spaced ring ids and Chord tables
+//! from the shared [`Scenario`] — no further coordination needed.
+//!
+//! ## The distance oracle
+//!
+//! The simulator's drivers hold the whole dataset, so their
+//! distance oracle is a closure over global knowledge. A real
+//! node only ever learns points and query centers from the frames it
+//! handles, so the runtime sniffs every inbound message (publishes
+//! carry points, subqueries carry the query ball) into a process-local
+//! map *before* dispatching it; the oracle answers from that map with
+//! the same [`l2`] arithmetic the expected-answer model uses.
+
+use crate::scenario::{l2, rotation, Scenario, KNN_K};
+use crate::wire::{self, Frame, HistogramSummary, Member, Role, StatsReport};
+use lph::Rect;
+use metric::ObjectId;
+use sansio::{dispatch, Input, Links, Output, ProtoCtx};
+use simnet::{AgentId, SimDuration, SimTime, TimerTag};
+use simsearch::msg::DistanceOracle;
+use simsearch::node::IndexState;
+use simsearch::{Entry, QueryBall, QueryId, SearchMsg, SearchNode, Store, SubQueryMsg, Telemetry};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Round-trip estimate the runtime reports for every peer. The
+/// resilience layer (off in this driver) would use it for timeout
+/// sizing only — never for correctness — so a constant is fine.
+const PEER_RTT: SimDuration = SimDuration(10_000_000);
+
+/// How long to keep retrying an outbound TCP connect before giving up.
+const CONNECT_PATIENCE: Duration = Duration::from_secs(15);
+
+/// Server configuration, straight off the CLI.
+#[derive(Clone, Debug)]
+pub struct ServerOpts {
+    /// Address to listen on (`127.0.0.1:0` picks a free port; the
+    /// resolved address is printed to stdout as `listening on ...`).
+    pub listen: String,
+    /// Seed address to join through; `None` makes this node the seed.
+    pub join: Option<String>,
+    /// Total cluster size, identical on every node.
+    pub expect: usize,
+    /// The shared deterministic scenario (`n_nodes` must equal
+    /// `expect`).
+    pub scenario: Scenario,
+}
+
+/// Query centers and object points learned from observed frames — the
+/// raw material of the node's [`QueryDistance`] oracle.
+#[derive(Default)]
+struct OracleData {
+    centers: HashMap<QueryId, Arc<[f64]>>,
+    points: HashMap<u32, Box<[f64]>>,
+}
+
+impl OracleData {
+    /// Harvest whatever oracle knowledge `msg` carries. Must run before
+    /// the message is dispatched: the handler may rank against the
+    /// oracle immediately.
+    fn sniff(&mut self, msg: &SearchMsg) {
+        match msg {
+            SearchMsg::Route(subs) | SearchMsg::RefineBatch(subs) => {
+                for sq in subs {
+                    self.sniff_subquery(sq);
+                }
+            }
+            SearchMsg::Refine(sq) | SearchMsg::Issue(sq) => self.sniff_subquery(sq),
+            SearchMsg::Publish { entry, .. } | SearchMsg::Replicate { entry, .. } => {
+                self.points
+                    .entry(entry.obj.0)
+                    .or_insert_with(|| entry.point.clone());
+            }
+            SearchMsg::ResultsOpt { items } => {
+                for it in items {
+                    if let Some(cached) = &it.cached {
+                        for (obj, point) in cached {
+                            self.points.entry(obj.0).or_insert_with(|| point.clone());
+                        }
+                    }
+                }
+            }
+            SearchMsg::Tracked { inner, .. } => self.sniff(inner),
+            SearchMsg::Results { .. } | SearchMsg::Ack { .. } => {}
+        }
+    }
+
+    fn sniff_subquery(&mut self, sq: &SubQueryMsg) {
+        if let Some(ball) = &sq.ball {
+            self.centers
+                .entry(sq.qid)
+                .or_insert_with(|| ball.center.clone());
+        }
+    }
+}
+
+/// Constant-latency [`Links`] oracle.
+struct ConstLinks(SimDuration);
+
+impl Links for ConstLinks {
+    fn rtt_to(&self, _other: AgentId) -> SimDuration {
+        self.0
+    }
+}
+
+/// The shared timer wheel: armed one-shot timers ordered by deadline,
+/// with arm order breaking ties — mirroring the simulator's
+/// `(time, seq)` event ordering.
+#[derive(Default)]
+struct TimerWheel {
+    heap: BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
+    tags: HashMap<u64, TimerTag>,
+    seq: u64,
+}
+
+impl TimerWheel {
+    fn schedule(&mut self, at: Instant, tag: TimerTag) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.tags.insert(seq, tag);
+        self.heap.push(std::cmp::Reverse((at, seq)));
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|std::cmp::Reverse((at, _))| *at)
+    }
+
+    fn pop_due(&mut self, now: Instant) -> Option<TimerTag> {
+        let &std::cmp::Reverse((at, seq)) = self.heap.peek()?;
+        if at > now {
+            return None;
+        }
+        self.heap.pop();
+        Some(
+            self.tags
+                .remove(&seq)
+                .expect("timer wheel entry lost its tag"),
+        )
+    }
+}
+
+/// One stimulus for the event loop.
+enum Event {
+    /// A search frame arrived from peer `from`.
+    Peer { from: usize, msg: SearchMsg },
+    /// A client request; the response goes back over `reply`.
+    Client {
+        req: Frame,
+        reply: mpsc::Sender<Frame>,
+    },
+    /// A client finished writing its shutdown ack — exit the loop.
+    Stop,
+}
+
+/// Outbound peer connections: one lazily-started writer thread per
+/// destination, each owning its socket.
+struct Peers {
+    me: usize,
+    members: Vec<Member>,
+    senders: Vec<Option<mpsc::Sender<SearchMsg>>>,
+}
+
+impl Peers {
+    fn new(me: usize, members: Vec<Member>) -> Peers {
+        let senders = members.iter().map(|_| None).collect();
+        Peers {
+            me,
+            members,
+            senders,
+        }
+    }
+
+    fn send(&mut self, to: usize, msg: SearchMsg) {
+        if self.senders[to].is_none() {
+            match self.connect(to) {
+                Ok(tx) => self.senders[to] = Some(tx),
+                Err(e) => {
+                    eprintln!("node {}: dropping message to peer {to}: {e}", self.me);
+                    return;
+                }
+            }
+        }
+        let tx = self.senders[to].as_ref().expect("sender just installed");
+        if tx.send(msg).is_err() {
+            // The writer thread died (peer closed mid-write). Drop the
+            // stale sender so the next send reconnects.
+            eprintln!(
+                "node {}: writer for peer {to} is gone; will reconnect on next send",
+                self.me
+            );
+            self.senders[to] = None;
+        }
+    }
+
+    fn connect(&self, to: usize) -> Result<mpsc::Sender<SearchMsg>, String> {
+        let addr = self.members[to].addr.clone();
+        let mut stream = connect_retry(&addr, CONNECT_PATIENCE)?;
+        wire::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                role: Role::Peer,
+                index: self.me as u64,
+            },
+        )
+        .map_err(|e| format!("hello to peer {to} ({addr}) failed: {e}"))?;
+        let (tx, rx) = mpsc::channel::<SearchMsg>();
+        let me = self.me;
+        thread::spawn(move || {
+            for msg in rx {
+                if let Err(e) = wire::write_frame(&mut stream, &Frame::Search(msg)) {
+                    eprintln!("node {me}: write to peer {to} ({addr}) failed: {e}");
+                    return;
+                }
+            }
+        });
+        Ok(tx)
+    }
+}
+
+/// Keep attempting a TCP connect until it succeeds or patience runs out
+/// (peers come up in arbitrary order; a refused connect is normal early
+/// in a cluster's life).
+pub(crate) fn connect_retry(addr: &str, patience: Duration) -> Result<TcpStream, String> {
+    let start = Instant::now();
+    loop {
+        let last_error = match TcpStream::connect(addr) {
+            Ok(stream) => {
+                // Frames are small and latency-sensitive.
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => e,
+        };
+        if start.elapsed() >= patience {
+            return Err(format!(
+                "could not connect to {addr} within {patience:?}: {last_error}"
+            ));
+        }
+        thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Static-membership bootstrap. The seed collects one join per expected
+/// peer and assigns indices by sorted listen address; joiners block
+/// until the membership arrives. Duplicate addresses (a node joining
+/// twice) are rejected with a descriptive [`Frame::Error`].
+fn bootstrap(
+    listener: &TcpListener,
+    my_addr: &str,
+    join: Option<&str>,
+    expect: usize,
+) -> Result<Vec<Member>, String> {
+    match join {
+        None => {
+            let mut joined: Vec<(String, TcpStream)> = Vec::new();
+            while joined.len() < expect - 1 {
+                let (mut conn, _) = listener
+                    .accept()
+                    .map_err(|e| format!("accept failed during bootstrap: {e}"))?;
+                match wire::read_frame(&mut conn) {
+                    Ok(Some(Frame::JoinRequest { addr })) => {
+                        if addr == my_addr || joined.iter().any(|(a, _)| *a == addr) {
+                            let _ = wire::write_frame(
+                                &mut conn,
+                                &Frame::Error {
+                                    reason: format!(
+                                        "listen address {addr} is already a member (double join)"
+                                    ),
+                                },
+                            );
+                            continue;
+                        }
+                        joined.push((addr, conn));
+                    }
+                    Ok(Some(other)) => {
+                        let _ = wire::write_frame(
+                            &mut conn,
+                            &Frame::Error {
+                                reason: format!(
+                                    "cluster is bootstrapping; {} frames not accepted yet",
+                                    other.kind()
+                                ),
+                            },
+                        );
+                    }
+                    Ok(None) => {} // probe connection; ignore
+                    Err(e) => eprintln!("seed: malformed join attempt: {e}"),
+                }
+            }
+            let mut addrs: Vec<String> = joined.iter().map(|(a, _)| a.clone()).collect();
+            addrs.push(my_addr.to_string());
+            addrs.sort();
+            let members: Vec<Member> = addrs
+                .into_iter()
+                .enumerate()
+                .map(|(i, addr)| Member {
+                    index: i as u64,
+                    addr,
+                })
+                .collect();
+            for (addr, mut conn) in joined {
+                wire::write_frame(
+                    &mut conn,
+                    &Frame::Members {
+                        members: members.clone(),
+                    },
+                )
+                .map_err(|e| format!("failed to send membership to joiner {addr}: {e}"))?;
+            }
+            Ok(members)
+        }
+        Some(seed) => {
+            let mut conn = connect_retry(seed, CONNECT_PATIENCE)?;
+            wire::write_frame(
+                &mut conn,
+                &Frame::JoinRequest {
+                    addr: my_addr.to_string(),
+                },
+            )
+            .map_err(|e| format!("join request to seed {seed} failed: {e}"))?;
+            match wire::read_frame(&mut conn) {
+                Ok(Some(Frame::Members { members })) => {
+                    if members.len() != expect {
+                        return Err(format!(
+                            "seed {seed} announced {} members, expected {expect}",
+                            members.len()
+                        ));
+                    }
+                    if !members.iter().any(|m| m.addr == my_addr) {
+                        return Err(format!(
+                            "seed {seed} membership does not include this node ({my_addr})"
+                        ));
+                    }
+                    Ok(members)
+                }
+                Ok(Some(Frame::Error { reason })) => {
+                    Err(format!("join rejected by seed {seed}: {reason}"))
+                }
+                Ok(Some(other)) => Err(format!(
+                    "seed {seed} answered the join with an unexpected {} frame",
+                    other.kind()
+                )),
+                Ok(None) => Err(format!(
+                    "seed {seed} closed the connection before sending the membership"
+                )),
+                Err(e) => Err(format!("failed to read membership from seed {seed}: {e}")),
+            }
+        }
+    }
+}
+
+/// Everything the event loop owns.
+struct Runtime {
+    me: usize,
+    node: SearchNode,
+    peers: Peers,
+    wheel: TimerWheel,
+    /// Self-addressed sends, drained before anything else — matching
+    /// the simulator, where a self-send is just the earliest event.
+    local: VecDeque<(usize, SearchMsg)>,
+    start: Instant,
+    data: Arc<Mutex<OracleData>>,
+    telemetry: Telemetry,
+    grid_dims: usize,
+    members: Vec<Member>,
+}
+
+impl Runtime {
+    /// Drive one input through the sans-io core and act on its outputs
+    /// in emission order — the whole driver contract in one method.
+    fn feed(&mut self, input: Input<SearchMsg>) {
+        if let Input::Message { msg, .. } = &input {
+            self.data
+                .lock()
+                .expect("oracle data lock poisoned")
+                .sniff(msg);
+        }
+        let now = SimTime(self.start.elapsed().as_nanos() as u64);
+        let links = ConstLinks(PEER_RTT);
+        let outputs = {
+            let mut ctx = ProtoCtx::new(AgentId(self.me), now, self.members.len(), &links);
+            dispatch(&mut self.node, &mut ctx, input);
+            ctx.into_outputs()
+        };
+        for out in outputs {
+            match out {
+                Output::Send { to, msg, bytes: _ } => {
+                    if to.0 == self.me {
+                        self.local.push_back((self.me, msg));
+                    } else {
+                        self.peers.send(to.0, msg);
+                    }
+                }
+                Output::Timer { delay, tag } => {
+                    self.wheel
+                        .schedule(Instant::now() + Duration::from_nanos(delay.0), tag);
+                }
+            }
+        }
+    }
+
+    /// Current origin-side view of a query, as a wire frame.
+    fn report(&self, qid: QueryId) -> Frame {
+        match self.node.issued.get(&qid) {
+            Some(iq) => Frame::QueryReport {
+                qid,
+                responses: iq.responses,
+                max_hops: iq.max_hops,
+                degraded: iq.degraded,
+                merged: iq.merged.iter().map(|&(o, d)| (o.0, d)).collect(),
+            },
+            None => Frame::QueryReport {
+                qid,
+                responses: 0,
+                max_hops: 0,
+                degraded: false,
+                merged: Vec::new(),
+            },
+        }
+    }
+
+    /// Snapshot this node's telemetry share.
+    fn stats(&self) -> StatsReport {
+        let st = self.telemetry.lock();
+        let counters = st
+            .registry
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let histograms = st
+            .registry
+            .histograms()
+            .map(|(k, h)| HistogramSummary {
+                name: k.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+            })
+            .collect();
+        let queries = st
+            .traces
+            .iter()
+            .map(|(&qid, t)| (qid, t.summary()))
+            .collect();
+        drop(st);
+        StatsReport {
+            counters,
+            histograms,
+            queries,
+            load: self.node.load() as u64,
+        }
+    }
+
+    /// Service one client request. Returns the reply frame; the caller
+    /// sends it back over the connection's reply channel.
+    fn handle_client(&mut self, req: Frame) -> Frame {
+        match req {
+            Frame::ClientPublish { index, obj, point } => {
+                if index as usize >= self.node.indexes.len() {
+                    return Frame::Error {
+                        reason: format!(
+                            "publish into index {index}, but only {} index(es) exist",
+                            self.node.indexes.len()
+                        ),
+                    };
+                }
+                if point.len() != self.grid_dims {
+                    return Frame::Error {
+                        reason: format!(
+                            "publish of a {}-dim point into a {}-dim index",
+                            point.len(),
+                            self.grid_dims
+                        ),
+                    };
+                }
+                let point = point.into_boxed_slice();
+                self.data
+                    .lock()
+                    .expect("oracle data lock poisoned")
+                    .points
+                    .entry(obj)
+                    .or_insert_with(|| point.clone());
+                let ring_key = self.node.indexes[index as usize].grid.hash(&point);
+                let entry = Entry {
+                    ring_key,
+                    obj: ObjectId(obj),
+                    point,
+                };
+                self.feed(Input::Message {
+                    from: AgentId(self.me),
+                    msg: SearchMsg::Publish {
+                        index,
+                        entry,
+                        hops: 0,
+                    },
+                });
+                Frame::PublishAck
+            }
+            Frame::ClientQuery {
+                qid,
+                index,
+                center,
+                radius,
+            } => {
+                if index as usize >= self.node.indexes.len() {
+                    return Frame::Error {
+                        reason: format!(
+                            "query against index {index}, but only {} index(es) exist",
+                            self.node.indexes.len()
+                        ),
+                    };
+                }
+                if center.len() != self.grid_dims {
+                    return Frame::Error {
+                        reason: format!(
+                            "{}-dim query center against a {}-dim index",
+                            center.len(),
+                            self.grid_dims
+                        ),
+                    };
+                }
+                if !(radius.is_finite() && radius >= 0.0) {
+                    return Frame::Error {
+                        reason: format!(
+                            "query radius {radius} is not a finite non-negative number"
+                        ),
+                    };
+                }
+                let center: Arc<[f64]> = center.into();
+                self.data
+                    .lock()
+                    .expect("oracle data lock poisoned")
+                    .centers
+                    .insert(qid, center.clone());
+                let grid = self.node.indexes[index as usize].grid.clone();
+                let rect = Rect::ball(&center, radius, grid.bounds());
+                let prefix = grid.enclosing_prefix(&rect);
+                self.feed(Input::Message {
+                    from: AgentId(self.me),
+                    msg: SearchMsg::Issue(SubQueryMsg {
+                        qid,
+                        index,
+                        rect,
+                        prefix,
+                        hops: 0,
+                        origin: AgentId(self.me),
+                        ball: Some(QueryBall { center, radius }),
+                        shortcut: false,
+                    }),
+                });
+                self.report(qid)
+            }
+            Frame::QueryStatus { qid } => self.report(qid),
+            Frame::StatsRequest => Frame::StatsReport(self.stats()),
+            Frame::MembersRequest => Frame::Members {
+                members: self.members.clone(),
+            },
+            Frame::Shutdown => Frame::ShutdownAck,
+            other => Frame::Error {
+                reason: format!("unexpected {} request on a client connection", other.kind()),
+            },
+        }
+    }
+}
+
+/// Per-connection service: classify by the first frame, then either
+/// pump search frames into the event loop (peer) or run a sequential
+/// request/reply session (client). Errors are returned, logged by the
+/// caller, and kill only this connection — never the node.
+fn serve_conn(mut conn: TcpStream, events: mpsc::Sender<Event>) -> Result<(), String> {
+    let _ = conn.set_nodelay(true);
+    match wire::read_frame(&mut conn) {
+        Ok(Some(Frame::Hello {
+            role: Role::Peer,
+            index,
+        })) => {
+            let from = index as usize;
+            loop {
+                match wire::read_frame(&mut conn) {
+                    Ok(Some(Frame::Search(msg))) => {
+                        if events.send(Event::Peer { from, msg }).is_err() {
+                            return Ok(()); // node is shutting down
+                        }
+                    }
+                    Ok(Some(other)) => {
+                        return Err(format!(
+                            "peer {from} sent an unexpected {} frame on a search connection",
+                            other.kind()
+                        ));
+                    }
+                    Ok(None) => return Ok(()), // clean close between frames
+                    Err(e) => {
+                        return Err(format!("connection from peer {from} failed: {e}"));
+                    }
+                }
+            }
+        }
+        Ok(Some(Frame::Hello {
+            role: Role::Client, ..
+        })) => {
+            let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+            loop {
+                let req = match wire::read_frame(&mut conn) {
+                    Ok(Some(f)) => f,
+                    Ok(None) => return Ok(()),
+                    Err(e) => return Err(format!("client connection failed: {e}")),
+                };
+                let shutting_down = matches!(req, Frame::Shutdown);
+                if events
+                    .send(Event::Client {
+                        req,
+                        reply: reply_tx.clone(),
+                    })
+                    .is_err()
+                {
+                    return Ok(()); // node is shutting down
+                }
+                let resp = reply_rx
+                    .recv()
+                    .map_err(|_| "event loop dropped a client request".to_string())?;
+                wire::write_frame(&mut conn, &resp)
+                    .map_err(|e| format!("client reply failed: {e}"))?;
+                if shutting_down {
+                    // The ack is on the wire; now let the loop exit.
+                    let _ = events.send(Event::Stop);
+                    return Ok(());
+                }
+            }
+        }
+        Ok(Some(Frame::JoinRequest { .. })) => {
+            let _ = wire::write_frame(
+                &mut conn,
+                &Frame::Error {
+                    reason: "cluster already formed; joins are closed".to_string(),
+                },
+            );
+            Ok(())
+        }
+        Ok(Some(other)) => Err(format!(
+            "connection opened with {} instead of hello",
+            other.kind()
+        )),
+        Ok(None) => Ok(()), // probe connection
+        Err(e) => Err(format!("handshake failed: {e}")),
+    }
+}
+
+/// Run one node to completion: bind, bootstrap, serve until a client
+/// sends [`Frame::Shutdown`].
+pub fn run_server(opts: &ServerOpts) -> Result<(), String> {
+    if opts.expect != opts.scenario.n_nodes {
+        return Err(format!(
+            "--expect {} disagrees with the scenario's {} nodes",
+            opts.expect, opts.scenario.n_nodes
+        ));
+    }
+    if opts.expect == 0 {
+        return Err("--expect must be at least 1".to_string());
+    }
+    let listener = TcpListener::bind(&opts.listen)
+        .map_err(|e| format!("failed to bind {}: {e}", opts.listen))?;
+    let my_addr = listener
+        .local_addr()
+        .map_err(|e| format!("bound socket has no local address: {e}"))?
+        .to_string();
+    // The harness parses this line to learn auto-assigned ports.
+    println!("listening on {my_addr}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("failed to flush the listen announcement: {e}"))?;
+
+    let members = bootstrap(&listener, &my_addr, opts.join.as_deref(), opts.expect)?;
+    let me = members
+        .iter()
+        .position(|m| m.addr == my_addr)
+        .ok_or_else(|| format!("membership is missing this node's address {my_addr}"))?;
+    eprintln!("node {me}: membership complete ({} nodes)", members.len());
+
+    let sc = opts.scenario;
+    let ring = sc.ring();
+    let table = ring
+        .build_all_tables(16, None, 16)
+        .into_iter()
+        .nth(me)
+        .expect("build_all_tables returned a table per member");
+
+    let data = Arc::new(Mutex::new(OracleData::default()));
+    let oracle_data = Arc::clone(&data);
+    let oracle: DistanceOracle = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        let d = oracle_data.lock().expect("oracle data lock poisoned");
+        let center = d
+            .centers
+            .get(&qid)
+            .unwrap_or_else(|| panic!("distance oracle: query {qid} has no sniffed ball center"));
+        let point = d.points.get(&obj.0).unwrap_or_else(|| {
+            panic!("distance oracle: object {} was never published here", obj.0)
+        });
+        l2(center, point)
+    });
+
+    let grid = Arc::new(sc.grid());
+    let grid_dims = grid.dims();
+    let mut node = SearchNode::new(
+        table,
+        vec![IndexState {
+            grid,
+            rotation: rotation(),
+            store: Store::new(),
+        }],
+        oracle,
+        KNN_K,
+        None,
+    );
+    let telemetry = Telemetry::new();
+    node.attach_telemetry(telemetry.clone());
+
+    let (events_tx, events_rx) = mpsc::channel::<Event>();
+    let accept_tx = events_tx.clone();
+    thread::spawn(move || {
+        for conn in listener.incoming() {
+            match conn {
+                Ok(conn) => {
+                    let tx = accept_tx.clone();
+                    thread::spawn(move || {
+                        if let Err(e) = serve_conn(conn, tx) {
+                            eprintln!("node: {e}");
+                        }
+                    });
+                }
+                Err(e) => eprintln!("node: accept failed: {e}"),
+            }
+        }
+    });
+
+    let mut rt = Runtime {
+        me,
+        node,
+        peers: Peers::new(me, members.clone()),
+        wheel: TimerWheel::default(),
+        local: VecDeque::new(),
+        start: Instant::now(),
+        data,
+        telemetry,
+        grid_dims,
+        members,
+    };
+    rt.feed(Input::Start);
+
+    loop {
+        // Self-sends first, then due timers, then the wire — the same
+        // priority a simulator event at the current instant would get.
+        if let Some((from, msg)) = rt.local.pop_front() {
+            rt.feed(Input::Message {
+                from: AgentId(from),
+                msg,
+            });
+            continue;
+        }
+        if let Some(tag) = rt.wheel.pop_due(Instant::now()) {
+            rt.feed(Input::Timer(tag));
+            continue;
+        }
+        let event = match rt.wheel.next_deadline() {
+            Some(at) => {
+                let wait = at.saturating_duration_since(Instant::now());
+                match events_rx.recv_timeout(wait) {
+                    Ok(ev) => ev,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err("event channel closed while timers were pending".to_string());
+                    }
+                }
+            }
+            None => events_rx
+                .recv()
+                .map_err(|_| "event channel closed unexpectedly".to_string())?,
+        };
+        match event {
+            Event::Peer { from, msg } => rt.feed(Input::Message {
+                from: AgentId(from),
+                msg,
+            }),
+            Event::Client { req, reply } => {
+                let resp = rt.handle_client(req);
+                // A dropped reply receiver just means the client hung up.
+                let _ = reply.send(resp);
+            }
+            Event::Stop => break,
+        }
+    }
+    eprintln!("node {me}: clean shutdown", me = rt.me);
+    Ok(())
+}

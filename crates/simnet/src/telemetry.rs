@@ -140,6 +140,16 @@ impl Registry {
         self.counters.is_empty() && self.histograms.is_empty()
     }
 
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Fold another registry into this one (summing counters, merging
     /// histograms).
     pub fn merge(&mut self, other: &Registry) {

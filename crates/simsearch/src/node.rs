@@ -1,13 +1,17 @@
-//! The index node as a [`simnet::Agent`]: executes routing actions as
-//! messages, answers queries from its local store, and keeps the
-//! per-query cost accounting the experiments report.
+//! The index node as a sans-io [`sansio::Protocol`]: executes routing
+//! actions as messages, answers queries from its local store, and keeps
+//! the per-query cost accounting the experiments report. A thin
+//! [`simnet::Agent`] adapter at the bottom of this file drives the same
+//! state machine under the deterministic simulator; `crates/node` drives
+//! it over real sockets.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use lph::{Grid, Rect, Rotation};
 use metric::ObjectId;
-use simnet::{Agent, AgentId, Ctx, SimDuration, SimTime, TimerTag};
+use sansio::{Input, ProtoCtx, Protocol};
+use simnet::{AgentId, SimDuration, SimTime, TimerTag};
 
 use crate::cache::{
     covers, intersect_wrap, radius_bucket, split_wrap, CachedRegion, ResultCache, ResultKey,
@@ -442,7 +446,7 @@ impl SearchNode {
     /// non-resilient path go out unwrapped, exactly as before.
     fn send_search(
         &mut self,
-        ctx: &mut Ctx<'_, SearchMsg>,
+        ctx: &mut ProtoCtx<'_, SearchMsg>,
         to: AgentId,
         msg: SearchMsg,
         bytes: u32,
@@ -491,7 +495,7 @@ impl SearchNode {
 
     /// A tracked send ran out of retries: suspect the destination and
     /// route the payload around it.
-    fn redispatch(&mut self, ctx: &mut Ctx<'_, SearchMsg>, msg: SearchMsg) {
+    fn redispatch(&mut self, ctx: &mut ProtoCtx<'_, SearchMsg>, msg: SearchMsg) {
         match msg {
             SearchMsg::Route(subs) => {
                 let me = ctx.me().0;
@@ -557,7 +561,7 @@ impl SearchNode {
     /// Execute routing actions: batch forwards per destination (the
     /// paper's n-subquery messages), hand off refinements, and answer
     /// local fragments with one result message per query.
-    fn execute(&mut self, ctx: &mut Ctx<'_, SearchMsg>, actions: Vec<Action>) {
+    fn execute(&mut self, ctx: &mut ProtoCtx<'_, SearchMsg>, actions: Vec<Action>) {
         // BTreeMaps, not HashMaps: iteration order decides message send
         // order, which decides simulated event order — telemetry
         // snapshots must not depend on the process's hash seed.
@@ -693,7 +697,7 @@ impl SearchNode {
     }
 
     /// Send one un-batched surrogate hand-off (the pre-cache wire form).
-    fn send_refine(&mut self, ctx: &mut Ctx<'_, SearchMsg>, to: AgentId, sq: SubQueryMsg) {
+    fn send_refine(&mut self, ctx: &mut ProtoCtx<'_, SearchMsg>, to: AgentId, sq: SubQueryMsg) {
         let qid = sq.qid;
         let msg = SearchMsg::Refine(sq);
         let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
@@ -719,7 +723,7 @@ impl SearchNode {
     /// refinement + top-10 reply).
     fn answer(
         &mut self,
-        ctx: &mut Ctx<'_, SearchMsg>,
+        ctx: &mut ProtoCtx<'_, SearchMsg>,
         qid: QueryId,
         index: u8,
         hops: u32,
@@ -777,7 +781,7 @@ impl SearchNode {
     /// candidate set.
     fn answer_item(
         &mut self,
-        ctx: &mut Ctx<'_, SearchMsg>,
+        ctx: &mut ProtoCtx<'_, SearchMsg>,
         qid: QueryId,
         index: u8,
         hops: u32,
@@ -1025,7 +1029,7 @@ impl SearchNode {
         }
     }
 
-    fn on_issue(&mut self, ctx: &mut Ctx<'_, SearchMsg>, sq: SubQueryMsg) {
+    fn on_issue(&mut self, ctx: &mut ProtoCtx<'_, SearchMsg>, sq: SubQueryMsg) {
         if let Some(tel) = &self.telemetry {
             tel.begin_query(sq.qid, ctx.me());
         }
@@ -1142,7 +1146,7 @@ impl SearchNode {
 
     fn on_results(
         &mut self,
-        ctx: &mut Ctx<'_, SearchMsg>,
+        ctx: &mut ProtoCtx<'_, SearchMsg>,
         qid: QueryId,
         hops: u32,
         entries: Vec<(ObjectId, f64)>,
@@ -1176,7 +1180,12 @@ impl SearchNode {
     /// state: learn owner shortcuts from its coverage claim, advance (or
     /// poison) the result-cache fill, then merge its entries exactly as
     /// a classic [`SearchMsg::Results`] would have been.
-    fn on_result_item(&mut self, ctx: &mut Ctx<'_, SearchMsg>, from: AgentId, item: ResultItem) {
+    fn on_result_item(
+        &mut self,
+        ctx: &mut ProtoCtx<'_, SearchMsg>,
+        from: AgentId,
+        item: ResultItem,
+    ) {
         let ResultItem {
             qid,
             hops,
@@ -1249,7 +1258,13 @@ impl SearchNode {
     /// Route or store one published entry. In resilient mode the routing
     /// is failure-aware and a stored entry is pushed to `replication - 1`
     /// ring successors.
-    fn on_publish(&mut self, ctx: &mut Ctx<'_, SearchMsg>, index: u8, entry: Entry, hops: u32) {
+    fn on_publish(
+        &mut self,
+        ctx: &mut ProtoCtx<'_, SearchMsg>,
+        index: u8,
+        entry: Entry,
+        hops: u32,
+    ) {
         let key = chord::ChordId(entry.ring_key);
         let decision = if self.resilience.is_some() {
             FailureAware::new(&self.table, self.suspected.as_set()).decide(key)
@@ -1281,7 +1296,13 @@ impl SearchNode {
         }
     }
 
-    fn store_publish(&mut self, ctx: &mut Ctx<'_, SearchMsg>, index: u8, entry: Entry, hops: u32) {
+    fn store_publish(
+        &mut self,
+        ctx: &mut ProtoCtx<'_, SearchMsg>,
+        index: u8,
+        entry: Entry,
+        hops: u32,
+    ) {
         if let Some(tel) = &self.telemetry {
             tel.incr("publish.stored", 1);
             tel.observe("publish.hops", hops as u64);
@@ -1305,7 +1326,7 @@ impl SearchNode {
 
     /// Push one owned entry to this node's first `replication - 1` live
     /// ring successors (no-op outside resilient mode).
-    fn replicate_out(&mut self, ctx: &mut Ctx<'_, SearchMsg>, index: u8, entry: Entry) {
+    fn replicate_out(&mut self, ctx: &mut ProtoCtx<'_, SearchMsg>, index: u8, entry: Entry) {
         let Some(rc) = &self.resilience else {
             return;
         };
@@ -1337,10 +1358,10 @@ impl SearchNode {
     }
 }
 
-impl Agent for SearchNode {
+impl Protocol for SearchNode {
     type Msg = SearchMsg;
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, SearchMsg>, from: AgentId, msg: SearchMsg) {
+    fn on_message(&mut self, ctx: &mut ProtoCtx<'_, SearchMsg>, from: AgentId, msg: SearchMsg) {
         match msg {
             SearchMsg::Issue(sq) => self.on_issue(ctx, sq),
             SearchMsg::Route(subs) => {
@@ -1425,7 +1446,7 @@ impl Agent for SearchNode {
                     }
                     return;
                 }
-                self.on_message(ctx, from, *inner);
+                Protocol::on_message(self, ctx, from, *inner);
             }
             SearchMsg::Ack { seq } => {
                 if self.pending.remove(&seq).is_some() {
@@ -1437,7 +1458,7 @@ impl Agent for SearchNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, SearchMsg>, tag: TimerTag) {
+    fn on_timer(&mut self, ctx: &mut ProtoCtx<'_, SearchMsg>, tag: TimerTag) {
         let seq = tag.0;
         let Some(mut p) = self.pending.remove(&seq) else {
             return; // acked in the meantime
@@ -1487,6 +1508,26 @@ impl Agent for SearchNode {
         self.shortcuts.clear();
         self.results_cache.clear_index(None);
         self.cache_fill.clear();
+    }
+}
+
+/// The simulator driver: each simnet callback runs the sans-io core via
+/// [`sansio::drive`], which buffers the core's outputs and replays them
+/// through the simulator in exact emission order — byte-identical event
+/// sequences (and telemetry) to the pre-refactor direct-call code.
+impl simnet::Agent for SearchNode {
+    type Msg = SearchMsg;
+
+    fn on_message(&mut self, ctx: &mut simnet::Ctx<'_, SearchMsg>, from: AgentId, msg: SearchMsg) {
+        sansio::drive(self, ctx, Input::Message { from, msg });
+    }
+
+    fn on_timer(&mut self, ctx: &mut simnet::Ctx<'_, SearchMsg>, tag: TimerTag) {
+        sansio::drive(self, ctx, Input::Timer(tag));
+    }
+
+    fn on_crash(&mut self) {
+        Protocol::on_crash(self);
     }
 }
 

@@ -194,6 +194,29 @@ pub struct QuerySummary {
     pub result_bytes: u64,
 }
 
+impl QuerySummary {
+    /// Fold another roll-up of the *same query* into this one: counters
+    /// sum, `hops` takes the maximum. Order-independent (sum and max are
+    /// commutative and associative), so per-node partial summaries from
+    /// a distributed run merge to the same totals in any order — the
+    /// property the sim-vs-socket parity digest relies on.
+    pub fn merge(&mut self, other: &QuerySummary) {
+        self.hops = self.hops.max(other.hops);
+        self.splits += other.splits;
+        self.shared_paths += other.shared_paths;
+        self.forwards += other.forwards;
+        self.handoffs += other.handoffs;
+        self.refines += other.refines;
+        self.peels += other.peels;
+        self.answers += other.answers;
+        self.scanned += other.scanned;
+        self.matched += other.matched;
+        self.returned += other.returned;
+        self.query_bytes += other.query_bytes;
+        self.result_bytes += other.result_bytes;
+    }
+}
+
 impl QueryTrace {
     /// Roll the event list up into integer totals.
     pub fn summary(&self) -> QuerySummary {
