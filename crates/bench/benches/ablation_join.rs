@@ -78,6 +78,7 @@ fn main() {
                     boundary: boundary.dims.clone(),
                     points: points.clone(),
                     rotate: false,
+                    rotation: None,
                 }],
                 mk_oracle(),
             );

@@ -52,6 +52,7 @@ fn main() {
                 boundary: boundary.dims.clone(),
                 points: points.clone(),
                 rotate,
+                rotation: None,
             })
             .collect();
         let cfg = SystemConfig {

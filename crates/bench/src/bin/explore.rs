@@ -147,6 +147,7 @@ fn main() {
                 boundary: boundary_from_metric(&metric, run.k).unwrap().dims,
                 points,
                 rotate: run.rotate,
+                rotation: None,
             }],
             oracle,
         );

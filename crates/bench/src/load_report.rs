@@ -391,6 +391,7 @@ pub fn run_load_at(
         boundary: fixture.boundary.clone(),
         points: fixture.points.clone(),
         rotate: true,
+        rotation: None,
     };
     let mut system = SearchSystem::build(scenario.system_config(n_nodes, seed), &[spec], oracle);
     system.set_service_time(Some(SimDuration::from_millis_f64(SERVICE_MS)));

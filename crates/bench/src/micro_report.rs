@@ -155,6 +155,7 @@ pub fn run_micro_scenario(quick: bool) -> MicroCounters {
             boundary: boundary_from_sample::<_, [f32], _>(&mapper, &sample, 0.05).dims,
             points,
             rotate: true,
+            rotation: None,
         }],
         oracle,
     );
@@ -311,6 +312,7 @@ pub fn run_cache_scenario(quick: bool) -> CacheCounters {
                 boundary: boundary.clone(),
                 points: points.clone(),
                 rotate: true,
+                rotation: None,
             }],
             oracle.clone(),
         );

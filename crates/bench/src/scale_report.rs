@@ -408,6 +408,7 @@ pub fn run_scale_point(
         boundary: fixture.boundary.clone(),
         points: fixture.points.clone(),
         rotate: true,
+        rotation: None,
     };
 
     let mut build_ms = 0.0;

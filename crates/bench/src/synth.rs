@@ -219,6 +219,7 @@ pub fn run_synth_system(
         boundary: boundary.dims.clone(),
         points,
         rotate: run.rotate,
+        rotation: None,
     };
 
     // One flat workload: qid = factor_index * n_queries + query_index.

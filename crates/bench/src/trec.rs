@@ -168,6 +168,7 @@ pub fn run_trec(
         boundary: boundary.dims.clone(),
         points,
         rotate: false,
+        rotation: None,
     };
 
     // Workload: topics repeated round-robin (paper: 50 topics × 40 =

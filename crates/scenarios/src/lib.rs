@@ -1,0 +1,25 @@
+//! Declarative scenario engine for the landmark-index simulator.
+//!
+//! A scenario is a small TOML document (parsed by [`toml`], typed by
+//! [`schema`]) describing a whole experiment: ring shape, co-hosted
+//! index schemes over the `workloads` generators, per-tenant
+//! Zipf-skewed publish/query mixes with optional flash-crowd windows,
+//! fault and churn settings, a mid-run rebalance, and the invariants
+//! the run must uphold (recall floor, hop ceiling, entry conservation,
+//! migration and rotation-decorrelation bounds). The [`runner`]
+//! executes any such file through the deterministic simulator with
+//! exact per-index recall oracles and folds the run into a canonical
+//! telemetry digest; the checked-in zoo under `scenarios/` gates those
+//! digests byte-for-byte in CI.
+
+pub mod runner;
+pub mod schema;
+pub mod toml;
+
+pub use runner::{digest_json, run, RunReport};
+pub use schema::Scenario;
+
+/// Parse scenario TOML text into a validated [`Scenario`].
+pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
+    schema::Scenario::from_toml(text)
+}

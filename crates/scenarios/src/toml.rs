@@ -1,0 +1,285 @@
+//! A minimal TOML-subset parser for scenario files.
+//!
+//! The vendored `serde_json` stub has no parser, so scenario files are
+//! read by this module into a [`serde_json::Value`] tree (key-sorted
+//! objects, so downstream digests stay canonical). Supported subset —
+//! everything the zoo uses, nothing more:
+//!
+//! * comments: `#` to end of line (outside strings)
+//! * `[table]` and `[nested.table]` headers
+//! * `[[array.of.tables]]` headers (append one table per header)
+//! * `key = value` with basic `"strings"`, booleans, integers
+//!   (`_` separators allowed), floats, and single-line arrays
+//!
+//! Dotted keys, inline tables, multi-line strings/arrays, dates and
+//! literal (`'...'`) strings are rejected with a line-numbered error:
+//! a scenario file that silently half-parses would be worse than one
+//! that refuses to load.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// Parse a scenario document into a JSON object tree.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // The table subsequent `key = value` lines land in.
+    let mut current: Vec<String> = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(path) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let path = split_path(path, line_no)?;
+            let (last, parent) = path.split_last().expect("split_path rejects empty");
+            let table = table_at(&mut root, parent, line_no)?;
+            let slot = table
+                .entry(last.clone())
+                .or_insert_with(|| Value::Array(Vec::new()));
+            match slot {
+                Value::Array(items) => items.push(Value::Object(BTreeMap::new())),
+                _ => return Err(format!("line {line_no}: [[{}]] is not an array", last)),
+            }
+            current = path;
+        } else if let Some(path) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let path = split_path(path, line_no)?;
+            table_at(&mut root, &path, line_no)?;
+            current = path;
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            if key.is_empty()
+                || !key
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(format!("line {line_no}: bad key `{key}` (bare keys only)"));
+            }
+            let (value, rest) = parse_value(line[eq + 1..].trim(), line_no)?;
+            if !rest.trim().is_empty() {
+                return Err(format!(
+                    "line {line_no}: trailing content `{}` after value",
+                    rest.trim()
+                ));
+            }
+            let table = table_at(&mut root, &current, line_no)?;
+            if table.insert(key.to_string(), value).is_some() {
+                return Err(format!("line {line_no}: duplicate key `{key}`"));
+            }
+        } else {
+            return Err(format!("line {line_no}: unrecognized line `{line}`"));
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+/// Drop a trailing comment, respecting `#` inside basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (pos, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..pos],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Split a `[a.b.c]` header path into segments.
+fn split_path(path: &str, line_no: usize) -> Result<Vec<String>, String> {
+    let segs: Vec<String> = path.split('.').map(|s| s.trim().to_string()).collect();
+    if segs.iter().any(|s| {
+        s.is_empty()
+            || !s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    }) {
+        return Err(format!("line {line_no}: bad table path `[{path}]`"));
+    }
+    Ok(segs)
+}
+
+/// The mutable table at `path`, creating intermediate tables and
+/// descending into the *last* element of any array-of-tables met along
+/// the way (TOML's rule for `[[t]]` followed by `[t.sub]`).
+fn table_at<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'a mut BTreeMap<String, Value>, String> {
+    let mut cur = root;
+    for seg in path {
+        let next = cur
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Object(BTreeMap::new()));
+        cur = match next {
+            Value::Object(map) => map,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Object(map)) => map,
+                _ => return Err(format!("line {line_no}: `{seg}` is not a table array")),
+            },
+            _ => return Err(format!("line {line_no}: `{seg}` is not a table")),
+        };
+    }
+    Ok(cur)
+}
+
+/// Parse one value from the front of `s`; returns the remainder.
+fn parse_value(s: &str, line_no: usize) -> Result<(Value, &str), String> {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('"') {
+        return parse_string(rest, line_no);
+    }
+    if s.starts_with('\'') {
+        return Err(format!(
+            "line {line_no}: literal strings are unsupported (strings must be quoted with \")"
+        ));
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let mut items = Vec::new();
+        let mut rest = rest.trim_start();
+        loop {
+            if let Some(r) = rest.strip_prefix(']') {
+                return Ok((Value::Array(items), r));
+            }
+            let (v, r) = parse_value(rest, line_no)?;
+            items.push(v);
+            rest = r.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.starts_with(']') {
+                return Err(format!("line {line_no}: expected `,` or `]` in array"));
+            }
+        }
+    }
+    // Bare scalar: token up to a delimiter.
+    let end = s
+        .find(|c: char| c == ',' || c == ']' || c.is_whitespace())
+        .unwrap_or(s.len());
+    let (tok, rest) = s.split_at(end);
+    match tok {
+        "" => Err(format!("line {line_no}: missing value")),
+        "true" => Ok((Value::Bool(true), rest)),
+        "false" => Ok((Value::Bool(false), rest)),
+        _ => {
+            let num = tok.replace('_', "");
+            if num.contains(['.', 'e', 'E']) {
+                num.parse::<f64>()
+                    .map(|f| (Value::Float(f), rest))
+                    .map_err(|_| format!("line {line_no}: bad float `{tok}`"))
+            } else if let Some(neg) = num.strip_prefix('-') {
+                neg.parse::<u64>()
+                    .map(|u| (Value::Int(-(u as i64)), rest))
+                    .map_err(|_| format!("line {line_no}: bad integer `{tok}`"))
+            } else {
+                num.parse::<u64>()
+                    .map(|u| (Value::UInt(u), rest))
+                    .map_err(|_| {
+                        format!("line {line_no}: bad value `{tok}` (strings must be quoted)")
+                    })
+            }
+        }
+    }
+}
+
+/// Parse a basic string body (opening quote already consumed).
+fn parse_string(s: &str, line_no: usize) -> Result<(Value, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((pos, c)) = chars.next() {
+        match c {
+            '"' => return Ok((Value::String(out), &s[pos + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                other => {
+                    return Err(format!(
+                        "line {line_no}: unsupported escape `\\{}`",
+                        other.map(|(_, c)| c).unwrap_or(' ')
+                    ))
+                }
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(format!("line {line_no}: unterminated string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = r#"
+# top comment
+title = "zoo"          # trailing comment
+count = 1_000
+skew = 1.25
+neg = -3
+on = true
+
+[ring]
+nodes = 48
+
+[ring.lb]
+delta = 0.5
+
+[[index]]
+name = "a"
+bounds = [0.0, 100.0]
+
+[[index]]
+name = "b # not a comment"
+"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v["title"].as_str(), Some("zoo"));
+        assert_eq!(v["count"].as_u64(), Some(1000));
+        assert_eq!(v["skew"].as_f64(), Some(1.25));
+        assert_eq!(v["neg"].as_i64(), Some(-3));
+        assert_eq!(v["on"].as_bool(), Some(true));
+        assert_eq!(v["ring"]["nodes"].as_u64(), Some(48));
+        assert_eq!(v["ring"]["lb"]["delta"].as_f64(), Some(0.5));
+        let idx = match &v["index"] {
+            Value::Array(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[0]["name"].as_str(), Some("a"));
+        assert_eq!(idx[0]["bounds"][0].as_f64(), Some(0.0));
+        assert_eq!(idx[1]["name"].as_str(), Some("b # not a comment"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (doc, needle) in [
+            ("key", "line 1"),
+            ("key = ", "missing value"),
+            ("key = 'single'", "strings must be quoted"),
+            ("key = \"unterminated", "unterminated"),
+            ("key = [1, 2", "expected `,` or `]`"),
+            ("a = 1\na = 2", "duplicate key"),
+            ("[bad path]", "bad table path"),
+            ("k.dotted = 1", "bad key"),
+            ("key = 1 2", "trailing content"),
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(err.contains(needle), "doc {doc:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn array_of_tables_with_subtable_lands_in_last_element() {
+        let doc = "[[t]]\nx = 1\n[t.sub]\ny = 2\n[[t]]\nx = 3\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(v["t"][0]["x"].as_u64(), Some(1));
+        assert_eq!(v["t"][0]["sub"]["y"].as_u64(), Some(2));
+        assert_eq!(v["t"][1]["x"].as_u64(), Some(3));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for §3.4 static rotation: staggered per-index offsets
+//! spread a Zipf-hot key range across decorrelated ring arcs, while the
+//! offsets-equal control provably piles every index's hot arc onto the
+//! same nodes.
+//!
+//! The model is the pure placement layer — rotation plus
+//! first-id-at-or-after-the-key ring ownership — so the properties are
+//! exact identities rather than tolerance checks. Cases where the
+//! random geometry defeats the setup (band straddling an arc boundary,
+//! two rotated bands landing on one owner) are discarded with an early
+//! `Ok(())`, mirroring `prop_assume` under the vendored runner.
+
+use lph::Rotation;
+use proptest::prelude::*;
+
+/// Ring owner assignment: the owner of `key` is the node with the
+/// smallest id ≥ key, wrapping to the smallest id overall.
+fn owner(sorted_ids: &[u64], key: u64) -> usize {
+    let i = sorted_ids.partition_point(|&id| id < key);
+    i % sorted_ids.len()
+}
+
+/// Per-node load of one index: each hot key placed through the index's
+/// rotation onto the ring.
+fn loads(sorted_ids: &[u64], keys: &[u64], rot: Rotation) -> Vec<usize> {
+    let mut out = vec![0usize; sorted_ids.len()];
+    for &k in keys {
+        out[owner(sorted_ids, rot.to_ring(k))] += 1;
+    }
+    out
+}
+
+fn combined_max(sorted_ids: &[u64], keys: &[u64], rots: &[Rotation]) -> usize {
+    let mut combined = vec![0usize; sorted_ids.len()];
+    for rot in rots {
+        for (node, load) in loads(sorted_ids, keys, *rot).into_iter().enumerate() {
+            combined[node] += load;
+        }
+    }
+    combined.into_iter().max().unwrap_or(0)
+}
+
+/// Distinct sorted node ids from raw draws (discarding the rare dupes).
+fn ring_of(raw: Vec<u64>) -> Option<Vec<u64>> {
+    let mut ids = raw;
+    ids.sort_unstable();
+    ids.dedup();
+    (ids.len() >= 8).then_some(ids)
+}
+
+/// A Zipf-hot band: `m` keys within a narrow range (2^48 of the 2^64
+/// ring — the hot head of a skewed workload).
+fn hot_band(start: u64, m: usize) -> Vec<u64> {
+    (0..m as u64)
+        .map(|i| start.wrapping_add(i * ((1u64 << 48) / m as u64)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Offsets-equal control: with the same key multiset and the same
+    /// offset on every index, per-index placements coincide, so the
+    /// hottest node carries exactly `K ×` its single-index load — the
+    /// correlated pileup rotation exists to prevent.
+    #[test]
+    fn equal_offsets_multiply_the_hot_node(
+        raw_ids in prop::collection::vec(any::<u64>(), 8..24usize),
+        start in any::<u64>(),
+        m in 20..100usize,
+        offset in any::<u64>(),
+    ) {
+        let Some(sorted) = ring_of(raw_ids) else { return Ok(()) };
+        let keys = hot_band(start, m);
+        let rots = [Rotation(offset); 3];
+        let single_max = loads(&sorted, &keys, rots[0]).into_iter().max().unwrap();
+        prop_assert_eq!(
+            combined_max(&sorted, &keys, &rots),
+            3 * single_max,
+            "equal offsets must stack all three hot arcs on one node"
+        );
+    }
+
+    /// Staggered offsets: when the three rotated hot bands land in the
+    /// arcs of three DISTINCT owners (the overwhelmingly common case
+    /// for name-derived offsets — collisions are discarded), the
+    /// hottest node carries exactly one index's band: a third of the
+    /// control's pileup.
+    #[test]
+    fn staggered_offsets_spread_the_hot_band(
+        raw_ids in prop::collection::vec(any::<u64>(), 8..24usize),
+        start in any::<u64>(),
+        m in 20..100usize,
+        names in prop::collection::vec("[a-z]{1,12}", 3usize),
+    ) {
+        let Some(sorted) = ring_of(raw_ids) else { return Ok(()) };
+        let keys = hot_band(start, m);
+        let rots: Vec<Rotation> = names.iter().map(|n| Rotation::from_name(n)).collect();
+        if rots[0] == rots[1] || rots[1] == rots[2] || rots[0] == rots[2] {
+            return Ok(()); // same-name draw: offsets not staggered
+        }
+        // Discard cases where a rotated band straddles an arc boundary
+        // (first and last key owned by different nodes) …
+        let owners: Vec<usize> = rots
+            .iter()
+            .map(|r| owner(&sorted, r.to_ring(keys[0])))
+            .collect();
+        for (r, &o) in rots.iter().zip(&owners) {
+            if owner(&sorted, r.to_ring(*keys.last().unwrap())) != o {
+                return Ok(());
+            }
+        }
+        // … or where two bands land on the same owner.
+        if owners[0] == owners[1] || owners[1] == owners[2] || owners[0] == owners[2] {
+            return Ok(());
+        }
+
+        let aligned = [rots[0]; 3];
+        prop_assert_eq!(
+            combined_max(&sorted, &keys, &rots),
+            m,
+            "each decorrelated arc carries exactly one index's band"
+        );
+        prop_assert_eq!(
+            combined_max(&sorted, &keys, &aligned),
+            3 * m,
+            "the offsets-equal control exceeds the staggered bound threefold"
+        );
+    }
+}
+
+/// The production offsets (name-derived, as `IndexSpec.rotate` uses)
+/// decorrelate a concrete hot band on a concrete ring.
+#[test]
+fn name_derived_offsets_decorrelate_a_hot_band() {
+    let sorted: Vec<u64> = (1..=16u64).map(|i| i.wrapping_mul(1 << 60)).collect();
+    let keys: Vec<u64> = (0..50u64).map(|i| (1u64 << 59) + i * 1024).collect();
+    let staggered: Vec<Rotation> = ["vecs", "dna", "news"]
+        .iter()
+        .map(|n| Rotation::from_name(n))
+        .collect();
+    let aligned = [Rotation::IDENTITY; 3];
+    let spread = combined_max(&sorted, &keys, &staggered);
+    let piled = combined_max(&sorted, &keys, &aligned);
+    assert_eq!(piled, 150, "identity offsets put all 150 keys on one node");
+    assert!(
+        spread <= 100,
+        "staggered offsets must split the pileup, got {spread}"
+    );
+}

@@ -1,0 +1,137 @@
+//! The scenario zoo gate: every checked-in `scenarios/*.toml` runs
+//! through the deterministic simulator twice (byte-identical digests),
+//! upholds its own `[expect]` invariants, and byte-matches its golden
+//! under `tests/golden/zoo/`. Regenerate with `UPDATE_GOLDEN=1`.
+//!
+//! On failure the digest and the scenario file are copied to
+//! `target/zoo/<name>/` so CI can upload them as artifacts.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use scenarios::{digest_json, parse_scenario, run};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Dump failure artifacts for the CI uploader, then fail.
+fn artifact_dump(name: &str, scenario_path: &Path, digest: &str, why: &str) {
+    let dir = repo_root().join("target/zoo").join(name);
+    let _ = fs::create_dir_all(&dir);
+    let _ = fs::write(dir.join("digest.json"), digest);
+    let _ = fs::copy(scenario_path, dir.join("scenario.toml"));
+    let _ = fs::write(dir.join("failure.txt"), why);
+}
+
+fn zoo_files() -> Vec<PathBuf> {
+    let dir = repo_root().join("scenarios");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("scenario dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn zoo_scenarios_uphold_invariants_and_match_goldens() {
+    let files = zoo_files();
+    assert!(
+        files.len() >= 6,
+        "the zoo must hold at least 6 scenarios, found {}",
+        files.len()
+    );
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures: Vec<String> = Vec::new();
+    for path in &files {
+        let text = fs::read_to_string(path).unwrap();
+        let sc = match parse_scenario(&text) {
+            Ok(sc) => sc,
+            Err(e) => {
+                failures.push(format!("{}: parse error: {e}", path.display()));
+                continue;
+            }
+        };
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        if sc.name != stem {
+            failures.push(format!(
+                "{}: scenario.name `{}` must match the file stem",
+                path.display(),
+                sc.name
+            ));
+            continue;
+        }
+
+        // Two full runs: the digest must be byte-deterministic.
+        let first = run(&sc);
+        let bytes = digest_json(&first.digest);
+        let again = digest_json(&run(&sc).digest);
+        if bytes != again {
+            artifact_dump(&sc.name, path, &bytes, "digest not deterministic");
+            failures.push(format!("{}: digest differs between two runs", sc.name));
+            continue;
+        }
+
+        if !first.violations.is_empty() {
+            let why = format!("invariant violations:\n{}", first.violations.join("\n"));
+            artifact_dump(&sc.name, path, &bytes, &why);
+            failures.push(format!("{}: {why}", sc.name));
+        }
+
+        let golden = repo_root()
+            .join("tests/golden/zoo")
+            .join(format!("{stem}.json"));
+        if update {
+            fs::write(&golden, &bytes).unwrap();
+            continue;
+        }
+        match fs::read_to_string(&golden) {
+            Ok(expected) if expected == bytes => {}
+            Ok(_) => {
+                artifact_dump(&sc.name, path, &bytes, "digest diverged from golden");
+                failures.push(format!(
+                    "{}: digest diverged from {} (UPDATE_GOLDEN=1 to regenerate)",
+                    sc.name,
+                    golden.display()
+                ));
+            }
+            Err(e) => {
+                artifact_dump(&sc.name, path, &bytes, "golden missing");
+                failures.push(format!(
+                    "{}: golden {} unreadable ({e}); UPDATE_GOLDEN=1 to create",
+                    sc.name,
+                    golden.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "zoo failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The §3.4 ablation pair must show *separation*, not just satisfy
+/// their own one-sided bounds: the offsets-equal control concentrates
+/// strictly more combined load on its hottest node than the staggered
+/// treatment arm.
+#[test]
+fn rotation_ablation_shows_hot_arc_separation() {
+    let load = |file: &str| {
+        let text = fs::read_to_string(repo_root().join("scenarios").join(file)).unwrap();
+        let report = run(&parse_scenario(&text).unwrap());
+        report.digest["combined"]["max_share_micros"]
+            .as_u64()
+            .expect("digest carries combined load share")
+    };
+    let staggered = load("rotation_staggered.toml");
+    let aligned = load("rotation_aligned.toml");
+    assert!(
+        aligned >= staggered + 100_000,
+        "staggering must spread the hot arc: aligned {aligned} vs staggered {staggered} \
+         (micro-shares of combined load)"
+    );
+}

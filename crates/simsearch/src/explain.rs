@@ -301,6 +301,7 @@ mod tests {
                 boundary: vec![(0.0, 100.0); 2],
                 points: points.clone(),
                 rotate: false,
+                rotation: None,
             }],
             oracle,
         );

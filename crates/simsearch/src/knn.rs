@@ -193,6 +193,7 @@ mod tests {
                 boundary: vec![(0.0, 100.0); 2],
                 points: points.clone(),
                 rotate: false,
+                rotation: None,
             }],
             oracle,
         );
@@ -278,6 +279,7 @@ mod tests {
                 boundary: vec![(0.0, 2.0); 2],
                 points,
                 rotate: false,
+                rotation: None,
             }],
             oracle,
         );

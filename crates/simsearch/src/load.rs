@@ -316,6 +316,22 @@ pub fn balance_with_telemetry(
             if victim == h || loads[victim] * 2 >= loads[h] {
                 continue;
             }
+            // The victim's entries are handed to its successor when it
+            // leaves. If that handoff would make the successor the new
+            // hot spot, the migration is a net loss — it shifts the
+            // peak instead of removing it and can cascade for rounds
+            // (each round's new peak recruiting another victim). Only
+            // migrate when every affected node ends below the current
+            // peak. (When the successor IS the heavy node the handoff
+            // is folded into the split itself and the earlier
+            // half-load guard already bounds it.)
+            let handoff_succ = ring.successor_of(ChordId(id_of[victim].wrapping_add(1)));
+            if handoff_succ.addr.0 != victim
+                && handoff_succ.addr.0 != h
+                && loads[handoff_succ.addr.0] + loads[victim] >= loads[h]
+            {
+                continue;
+            }
             let pred = ring.predecessor_of(ChordId(id_of[h]));
             let arc_start = if pred.addr.0 == h {
                 // Single-node ring: arc is the whole circle.
@@ -593,6 +609,143 @@ mod tests {
                 assert_eq!(owner.id, node.table.me_ref().id);
             }
         }
+    }
+
+    /// A world with an exact, hand-placed load per node: `loads[slot]`
+    /// entries land on the node at sorted-ring position `slot` (keys
+    /// just below each node's own id — random 64-bit ids leave arcs
+    /// wide enough that the keys stay in-arc, which the assertions at
+    /// the end re-check).
+    fn world_with_loads(loads: &[usize]) -> (OracleRing, Vec<SearchNode>, Topology) {
+        let n = loads.len();
+        let mut rng = SimRng::new(424_242);
+        let ring = OracleRing::with_random_ids(n, &mut rng);
+        let mut order: Vec<NodeRef> = ring.nodes().to_vec();
+        order.sort_by_key(|nd| nd.id.0);
+        let mut keys = Vec::new();
+        for (slot, nd) in order.iter().enumerate() {
+            for j in 0..loads[slot] {
+                keys.push(nd.id.0 - j as u64);
+            }
+        }
+        let topo2 = Topology::king_like(n, 3, 180.0);
+        let tables = ring.build_all_tables(8, None, 8);
+        let grid = Arc::new(Grid::new(Rect::cube(1, 0.0, 1.0), 16));
+        let oracle: DistanceOracle = Arc::new(|_q, _o: ObjectId| 0.0);
+        let mut nodes2: Vec<SearchNode> = tables
+            .into_iter()
+            .map(|t| {
+                SearchNode::new(
+                    t,
+                    vec![IndexState {
+                        grid: Arc::clone(&grid),
+                        rotation: Rotation::IDENTITY,
+                        store: Store::new(),
+                    }],
+                    Arc::clone(&oracle),
+                    10,
+                    None,
+                )
+            })
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            let owner = ring.owner_of(ChordId(k));
+            nodes2[owner.addr.0].indexes[0].store.insert(Entry {
+                ring_key: k,
+                obj: ObjectId(i as u32),
+                point: vec![0.5].into_boxed_slice(),
+            });
+        }
+        for (slot, nd) in order.iter().enumerate() {
+            assert_eq!(
+                nodes2[nd.addr.0].load(),
+                loads[slot],
+                "arc too narrow for hand-placed load at slot {slot}"
+            );
+        }
+        (ring, nodes2, topo2)
+    }
+
+    #[test]
+    fn probe_level_zero_never_triggers() {
+        // With no probe reach there is no neighborhood to compare
+        // against, so even an extreme hot spot must stay put.
+        let (mut ring, mut nodes, topo) = world_with_loads(&[100, 0, 0, 0]);
+        let cfg = LoadBalanceConfig {
+            probe_level: 0,
+            ..LoadBalanceConfig::default()
+        };
+        let mut rng = SimRng::new(5);
+        let report = balance(&mut ring, &mut nodes, &cfg, &topo, 8, 8, &mut rng);
+        assert_eq!(report.migrations, 0, "probe level 0 must never migrate");
+        assert_eq!(nodes.iter().map(|n| n.load()).max().unwrap(), 100);
+    }
+
+    #[test]
+    fn exact_threshold_load_does_not_trigger() {
+        // Heavy node at EXACTLY avg * (1 + δ): the paper's trigger is
+        // strict (`load > avg (1 + δ)`), so nothing may move; one unit
+        // of slack under the threshold must migrate.
+        // 4 nodes, level-4 probes reach everyone: avg of the others is
+        // 10, so δ = 2.0 puts the threshold exactly at 30.
+        let (mut ring, mut nodes, topo) = world_with_loads(&[30, 10, 10, 10]);
+        let cfg = LoadBalanceConfig {
+            delta: 2.0,
+            ..LoadBalanceConfig::default()
+        };
+        let mut rng = SimRng::new(5);
+        let report = balance(&mut ring, &mut nodes, &cfg, &topo, 8, 8, &mut rng);
+        assert_eq!(report.migrations, 0, "load == avg*(1+δ) must not trigger");
+
+        let (mut ring, mut nodes, topo) = world_with_loads(&[30, 10, 10, 10]);
+        let cfg = LoadBalanceConfig {
+            delta: 1.9,
+            ..LoadBalanceConfig::default()
+        };
+        let report = balance(&mut ring, &mut nodes, &cfg, &topo, 8, 8, &mut rng);
+        assert!(report.migrations > 0, "load above avg*(1+δ) must trigger");
+    }
+
+    #[test]
+    fn victim_with_half_the_heavy_load_is_not_recruited() {
+        // The only victims on offer already hold half the heavy node's
+        // load: splitting with them cannot strictly improve the peak.
+        let (mut ring, mut nodes, topo) = world_with_loads(&[40, 25, 25, 25]);
+        let cfg = LoadBalanceConfig::default(); // δ = 0: 40 > 25 triggers
+        let mut rng = SimRng::new(5);
+        let report = balance(&mut ring, &mut nodes, &cfg, &topo, 8, 8, &mut rng);
+        assert_eq!(
+            report.migrations, 0,
+            "a victim holding >= half the heavy load must be refused"
+        );
+        assert_eq!(nodes.iter().map(|n| n.load()).max().unwrap(), 40);
+    }
+
+    #[test]
+    fn handoff_that_creates_a_new_peak_is_refused() {
+        // The trigger bug surfaced by the flash-crowd scenario: the
+        // lightest probed node (8) is a fine split helper by the
+        // half-load guard alone, but leaving hands its 8 entries to its
+        // successor (35), creating a NEW 43-entry peak above the
+        // original 40 — and cascading for rounds. The handoff guard
+        // must refuse the migration outright.
+        // Sorted-ring layout: [victim 8, its successor 35, heavy 40,
+        // 20, 20]; δ = 0.8 puts only the 40-node over threshold
+        // (its neighborhood average is 20.75 → threshold 37.35).
+        let (mut ring, mut nodes, topo) = world_with_loads(&[8, 35, 40, 20, 20]);
+        let cfg = LoadBalanceConfig {
+            delta: 0.8,
+            ..LoadBalanceConfig::default()
+        };
+        let mut rng = SimRng::new(5);
+        let report = balance(&mut ring, &mut nodes, &cfg, &topo, 8, 8, &mut rng);
+        assert_eq!(
+            report.migrations, 0,
+            "migration that shifts the peak to the victim's successor must be refused"
+        );
+        assert_eq!(nodes.iter().map(|n| n.load()).max().unwrap(), 40);
+        let total: usize = nodes.iter().map(|n| n.load()).sum();
+        assert_eq!(total, 123);
     }
 
     #[test]

@@ -217,6 +217,10 @@ pub struct SearchNode {
     /// Shared telemetry of the system this node belongs to; `None`
     /// leaves the node untraced (standalone tests, ad-hoc worlds).
     pub telemetry: Option<Telemetry>,
+    /// Also maintain per-index namespaced counters (`index{i}.*`) next
+    /// to the global ones. Off by default: extra registry keys would
+    /// perturb historical golden snapshots.
+    pub index_telemetry: bool,
     /// `Some` switches on retry/failover and replica answering. `None`
     /// (the default) keeps the wire protocol byte-identical to the
     /// pre-resilience implementation.
@@ -264,6 +268,7 @@ impl SearchNode {
             costs: CostLedger::default(),
             publishes_stored: Vec::new(),
             telemetry: None,
+            index_telemetry: false,
             resilience: None,
             suspected: SuspicionSet::new(),
             routing_opt: None,
@@ -331,6 +336,18 @@ impl SearchNode {
             if let Some(tel) = &self.telemetry {
                 tel.incr("cache.invalidations", n);
             }
+        }
+    }
+
+    /// Increment the per-index twin of a global counter — a no-op unless
+    /// per-index namespacing is on (see
+    /// [`crate::system::SystemConfig::index_telemetry`]).
+    fn incr_index(&self, index: u8, what: &str, by: u64) {
+        if !self.index_telemetry || by == 0 {
+            return;
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.incr(&format!("index{index}.{what}"), by);
         }
     }
 
@@ -617,6 +634,9 @@ impl SearchNode {
                         tel.incr("batch.coalesced", (subs.len() - 1) as u64);
                     }
                 }
+                for s in subs {
+                    self.incr_index(s.index, "routed", 1);
+                }
             }
             self.send_search(ctx, to, msg, bytes);
         }
@@ -654,6 +674,9 @@ impl SearchNode {
                         tel.incr("search.msgs.refine", 1);
                         tel.incr("search.bytes.query", bytes as u64);
                         tel.incr("batch.coalesced", coalesced);
+                    }
+                    for s in subs {
+                        self.incr_index(s.index, "routed", 1);
                     }
                 }
                 self.send_search(ctx, to, msg, bytes);
@@ -699,6 +722,7 @@ impl SearchNode {
     /// Send one un-batched surrogate hand-off (the pre-cache wire form).
     fn send_refine(&mut self, ctx: &mut ProtoCtx<'_, SearchMsg>, to: AgentId, sq: SubQueryMsg) {
         let qid = sq.qid;
+        self.incr_index(sq.index, "routed", 1);
         let msg = SearchMsg::Refine(sq);
         let bytes = msg_bytes(&msg, |ix| self.k_of(ix));
         self.costs.row_mut(qid).query_bytes += bytes as u64;
@@ -769,6 +793,9 @@ impl SearchNode {
                 tel.incr("resilience.degraded_answers", 1);
             }
         }
+        self.incr_index(index, "answers", 1);
+        self.incr_index(index, "scanned", core.scanned);
+        self.incr_index(index, "dist_calls", core.dist_calls);
         self.send_search(ctx, origin, msg, bytes);
     }
 
@@ -870,6 +897,9 @@ impl SearchNode {
                 tel.incr("resilience.degraded_answers", 1);
             }
         }
+        self.incr_index(index, "answers", 1);
+        self.incr_index(index, "scanned", core.scanned);
+        self.incr_index(index, "dist_calls", core.dist_calls);
         (origin, item)
     }
 
@@ -1307,6 +1337,7 @@ impl SearchNode {
             tel.incr("publish.stored", 1);
             tel.observe("publish.hops", hops as u64);
         }
+        self.incr_index(index, "published", 1);
         self.publishes_stored.push((hops, entry.obj));
         if self.routing_opt.is_some() {
             // A new entry landing inside a cached region would make that

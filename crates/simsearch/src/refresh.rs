@@ -334,6 +334,7 @@ mod tests {
                 boundary: vec![(0.0, 100.0); 2],
                 points: points.to_vec(),
                 rotate: false,
+                rotation: None,
             }],
             oracle,
         )
@@ -401,6 +402,7 @@ mod tests {
                 boundary: vec![(0.0, 100.0); 2],
                 points: points.clone(),
                 rotate: false,
+                rotation: None,
             }],
             oracle,
         );
@@ -480,6 +482,7 @@ mod tests {
                 boundary: vec![(0.0, 100.0); 2],
                 points: points.clone(),
                 rotate: false,
+                rotation: None,
             }],
             oracle,
         );

@@ -77,6 +77,12 @@ pub struct SystemConfig {
     /// the real merge machinery on any hardware. Defaults to whether
     /// the `SIMSEARCH_FORCE_PAR` environment variable is set.
     pub force_parallel: bool,
+    /// Additionally maintain per-index namespaced counters
+    /// (`index{i}.answers`, `index{i}.scanned`, `index{i}.dist_calls`,
+    /// `index{i}.routed`, `index{i}.published`) so co-hosted schemes are
+    /// attributable individually. Off by default: the extra registry
+    /// keys would perturb the historical golden snapshots.
+    pub index_telemetry: bool,
 }
 
 /// Read the `SIMSEARCH_THREADS` environment variable: a positive thread
@@ -107,6 +113,7 @@ impl Default for SystemConfig {
             routing_opt: None,
             threads: threads_from_env(),
             force_parallel: std::env::var_os("SIMSEARCH_FORCE_PAR").is_some(),
+            index_telemetry: false,
         }
     }
 }
@@ -123,6 +130,12 @@ pub struct IndexSpec {
     pub points: Vec<Vec<f64>>,
     /// Apply the static space-mapping rotation (§3.4).
     pub rotate: bool,
+    /// Explicit rotation offset, overriding the name-derived one — the
+    /// ablation hook: forcing two indexes to the *same* offset
+    /// reproduces the correlated-hot-arc pileup §3.4's staggering
+    /// prevents. `None` keeps the default behavior (`rotate` decides
+    /// between [`Rotation::from_name`] and [`Rotation::IDENTITY`]).
+    pub rotation: Option<u64>,
 }
 
 /// One query of the workload. The caller maps the query object to its
@@ -233,12 +246,10 @@ impl SearchSystem {
             .collect();
         let rotations: Vec<Rotation> = specs
             .iter()
-            .map(|s| {
-                if s.rotate {
-                    Rotation::from_name(&s.name)
-                } else {
-                    Rotation::IDENTITY
-                }
+            .map(|s| match s.rotation {
+                Some(off) => Rotation(off),
+                None if s.rotate => Rotation::from_name(&s.name),
+                None => Rotation::IDENTITY,
             })
             .collect();
 
@@ -363,6 +374,7 @@ impl SearchSystem {
         let telemetry = Telemetry::new();
         for node in &mut nodes {
             node.attach_telemetry(telemetry.clone());
+            node.index_telemetry = cfg.index_telemetry;
             if let Some(rc) = &cfg.resilience {
                 node.enable_resilience(rc.clone());
             }
@@ -830,6 +842,7 @@ mod tests {
                 boundary: vec![(0.0, 100.0); 2],
                 points: points.clone(),
                 rotate: false,
+                rotation: None,
             },
             points,
         )
@@ -1016,6 +1029,7 @@ mod tests {
         let (spec, points) = small_spec(400);
         let rotated = IndexSpec {
             rotate: true,
+            rotation: None,
             ..spec.clone()
         };
         let qp = vec![vec![50.0, 50.0]];

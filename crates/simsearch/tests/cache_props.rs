@@ -263,6 +263,7 @@ fn hot_scenario(seed: u64, base: usize, rounds: usize) -> HotScenario {
             boundary: boundary_from_metric(&metric, 4).unwrap().dims,
             points,
             rotate: true,
+            rotation: None,
         },
         oracle,
         base_points,

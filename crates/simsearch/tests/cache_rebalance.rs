@@ -1,0 +1,156 @@
+//! Regression: the routing-plane caches (learned shortcuts + hot-range
+//! result cache) must invalidate correctly when dynamic load migration
+//! moves key ownership. A median-split leave-and-rejoin changes which
+//! node owns the cached hot range; a stale shortcut or cached result
+//! set served afterwards would silently break the exact-recall
+//! guarantee. The test warms the caches on a skewed ring, rebalances
+//! (migrations must actually happen), and asserts recall 1.0 before,
+//! after, and on the re-warm round — with the invalidation counter
+//! proving the caches were flushed rather than lucky.
+
+use std::sync::Arc;
+
+use landmark::{boundary_from_metric, kmeans, Mapper};
+use metric::{Metric, ObjectId, L2};
+use simnet::SimRng;
+use simsearch::{
+    IndexSpec, LoadBalanceConfig, QueryDistance, QueryId, QuerySpec, RoutingOptConfig,
+    SearchSystem, SystemConfig,
+};
+use workloads::{ClusteredParams, ClusteredVectors};
+
+const SEED: u64 = 4242;
+const N_QUERIES: usize = 4;
+const ORIGINS: [usize; N_QUERIES] = [3, 11, 19, 27];
+
+fn counter(system: &SearchSystem, name: &str) -> u64 {
+    system.telemetry_snapshot()["registry"]["counters"][name]
+        .as_u64()
+        .unwrap_or(0)
+}
+
+#[test]
+fn caches_invalidate_through_rebalance_key_movement() {
+    // One tight cluster: the hot range piles onto few nodes, so the
+    // rebalance genuinely moves the keys the caches point at.
+    let data = ClusteredVectors::generate(
+        ClusteredParams {
+            dims: 8,
+            clusters: 1,
+            deviation: 5.0,
+            n_objects: 1_200,
+            ..ClusteredParams::default()
+        },
+        SEED,
+    );
+    let metric = L2::bounded(8, 0.0, 100.0);
+    let mut rng = SimRng::new(SEED);
+    let sample: Vec<Vec<f32>> = rng
+        .sample_indices(data.objects.len(), 200)
+        .into_iter()
+        .map(|i| data.objects[i].clone())
+        .collect();
+    let landmarks = kmeans::<_, [f32], _>(&metric, &sample, 4, 8, &mut rng);
+    let mapper = Mapper::new(metric, landmarks);
+    let points = mapper.map_all::<[f32], _>(&data.objects);
+
+    let qpoints = data.queries(N_QUERIES, SEED ^ 7);
+    let radius = 0.03 * data.max_distance();
+    let queries: Vec<QuerySpec> = qpoints
+        .iter()
+        .map(|q| QuerySpec {
+            index: 0,
+            point: mapper.map(q.as_slice()).into_vec(),
+            radius,
+            truth: data
+                .objects
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| L2::new().distance(q.as_slice(), o.as_slice()) <= radius)
+                .map(|(i, _)| ObjectId(i as u32))
+                .collect(),
+        })
+        .collect();
+
+    let objects = Arc::new(data.objects.clone());
+    let qp = Arc::new(qpoints);
+    let oracle: Arc<dyn QueryDistance> = Arc::new(move |qid: QueryId, obj: ObjectId| {
+        L2::new().distance(
+            qp[qid as usize % N_QUERIES].as_slice(),
+            objects[obj.0 as usize].as_slice(),
+        )
+    });
+
+    let mut system = SearchSystem::build(
+        SystemConfig {
+            n_nodes: 32,
+            seed: SEED,
+            knn_k: 200, // range semantics: don't truncate answers
+            routing_opt: Some(RoutingOptConfig::default()),
+            ..SystemConfig::default()
+        },
+        &[IndexSpec {
+            name: "hot".into(),
+            boundary: boundary_from_metric(&metric, 4).unwrap().dims,
+            points,
+            rotate: true,
+            rotation: None,
+        }],
+        oracle,
+    );
+
+    // Round 1 fills the caches, round 2 hits them.
+    let assert_full_recall = |outcomes: &[simsearch::QueryOutcome], when: &str| {
+        for o in outcomes {
+            assert!(
+                (o.recall - 1.0).abs() < 1e-12,
+                "{when}: query {} recall {}",
+                o.qid,
+                o.recall
+            );
+        }
+    };
+    let warm: Vec<QuerySpec> = queries.iter().chain(queries.iter()).cloned().collect();
+    let warm_origins: Vec<usize> = ORIGINS.iter().chain(ORIGINS.iter()).copied().collect();
+    assert_full_recall(
+        &system.run_queries_from(&warm, &warm_origins, 5.0),
+        "warm-up",
+    );
+    let hits_before = counter(&system, "cache.hits");
+    assert!(hits_before > 0, "repeat round must hit the result cache");
+    let invalidations_before = counter(&system, "cache.invalidations");
+
+    // Median-split leave-and-rejoin: the skewed placement guarantees
+    // the hot range actually changes owners.
+    let report = system.rebalance(&LoadBalanceConfig::default());
+    assert!(
+        report.migrations > 0,
+        "skewed cluster must trigger migrations, or the test shows nothing"
+    );
+    let invalidations_after = counter(&system, "cache.invalidations");
+    assert!(
+        invalidations_after > invalidations_before,
+        "rebalance must flush the warmed routing caches \
+         ({invalidations_before} -> {invalidations_after})"
+    );
+
+    // Same hot queries against the migrated ring: exact recall, no
+    // stale shortcut or cached result set may survive the key movement.
+    // (Rounds reuse the same qid population, so every round issues the
+    // same 8-query batch.)
+    assert_full_recall(
+        &system.run_queries_from(&warm, &warm_origins, 5.0),
+        "post-rebalance",
+    );
+
+    // Re-warm round: the caches refill against the NEW placement and
+    // serve hits again — still at exact recall.
+    assert_full_recall(
+        &system.run_queries_from(&warm, &warm_origins, 5.0),
+        "re-warm",
+    );
+    assert!(
+        counter(&system, "cache.hits") > hits_before,
+        "caches must serve hits again after refilling post-rebalance"
+    );
+}

@@ -65,6 +65,7 @@ fn build(n_nodes: usize, seed: u64, points: &[Vec<f64>]) -> SearchSystem {
             boundary: vec![(0.0, 100.0); 2],
             points: points.to_vec(),
             rotate: false,
+            rotation: None,
         }],
         oracle,
     )

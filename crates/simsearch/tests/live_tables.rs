@@ -40,6 +40,7 @@ fn build(points: &[Vec<f64>], qpoints: Vec<Vec<f64>>) -> SearchSystem {
             boundary: vec![(0.0, 100.0); 2],
             points: points.to_vec(),
             rotate: false,
+            rotation: None,
         }],
         oracle,
     )

@@ -35,6 +35,7 @@ fn world(n_obj: usize) -> (IndexSpec, Vec<Vec<f64>>) {
             boundary: vec![(0.0, 100.0); 2],
             points: points.clone(),
             rotate: false,
+            rotation: None,
         },
         points,
     )

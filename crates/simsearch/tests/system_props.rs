@@ -123,6 +123,7 @@ proptest! {
                 boundary: vec![(0.0, BOUND); DIMS],
                 points: objs.clone(),
                 rotate: spec.rotate,
+                rotation: None,
             }],
             oracle,
         );
@@ -205,6 +206,7 @@ proptest! {
                 boundary: vec![(0.0, BOUND); DIMS],
                 points: objs.clone(),
                 rotate: false,
+                rotation: None,
             }],
             oracle,
         );

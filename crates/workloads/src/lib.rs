@@ -21,6 +21,7 @@ pub mod ground_truth;
 pub mod strings;
 pub mod synthetic;
 pub mod timeseries;
+pub mod zipf;
 
 pub use corpus::{Corpus, CorpusParams};
 pub use expansion::expand_query;
@@ -28,3 +29,4 @@ pub use ground_truth::knn_batch;
 pub use strings::{StringWorkload, StringWorkloadParams};
 pub use synthetic::{ClusteredParams, ClusteredVectors};
 pub use timeseries::{TimeSeriesParams, TimeSeriesWorkload};
+pub use zipf::Zipf;

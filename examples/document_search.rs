@@ -91,6 +91,7 @@ fn main() {
             boundary: boundary.dims,
             points,
             rotate: false,
+            rotation: None,
         }],
         oracle,
     );
@@ -171,6 +172,7 @@ fn main() {
             boundary: boundary2.dims,
             points: points2,
             rotate: false,
+            rotation: None,
         }],
         oracle2,
     );

@@ -111,6 +111,7 @@ fn main() {
             boundary: boundary.dims,
             points,
             rotate: false,
+            rotation: None,
         }],
         oracle,
     );

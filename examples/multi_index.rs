@@ -106,18 +106,21 @@ fn main() {
             boundary: boundary_from_metric(&vmetric, 4).unwrap().dims,
             points: vpoints,
             rotate: true,
+            rotation: None,
         },
         IndexSpec {
             name: "documents-angular".into(),
             boundary: boundary_from_sample::<_, SparseVector, _>(&dmapper, &dsample, 0.02).dims,
             points: dpoints,
             rotate: true,
+            rotation: None,
         },
         IndexSpec {
             name: "dna-edit".into(),
             boundary: boundary_from_sample::<_, str, _>(&smapper, &ssample, 0.05).dims,
             points: spoints,
             rotate: true,
+            rotation: None,
         },
     ];
 

@@ -79,6 +79,7 @@ fn main() {
             boundary: boundary.dims,
             points,
             rotate: false,
+            rotation: None,
         }],
         oracle,
     );

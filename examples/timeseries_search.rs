@@ -71,6 +71,7 @@ fn main() {
             boundary: boundary.dims,
             points,
             rotate: false,
+            rotation: None,
         }],
         oracle,
     );

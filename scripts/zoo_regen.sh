@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the scenario-zoo golden digests and show what changed.
+#
+# Runs the zoo test once with UPDATE_GOLDEN=1 (rewriting
+# tests/golden/zoo/*.json from the current engine), then runs it again
+# WITHOUT the flag — the second run must reproduce the fresh goldens
+# byte for byte, or the engine has nondeterminism and the script fails.
+# Finishes with a git diff stat of the golden directory so an
+# intentional digest change is reviewable before committing.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+UPDATE_GOLDEN=1 cargo test --release -p scenarios --test zoo -- --nocapture
+cargo test --release -p scenarios --test zoo -- --nocapture
+
+echo
+echo "== golden changes (commit scenario TOMLs together with these) =="
+git diff --stat -- tests/golden/zoo
+git status --short -- tests/golden/zoo

@@ -62,6 +62,7 @@ fn run_once(seed: u64) -> Vec<QueryOutcome> {
             boundary: boundary_from_metric(&metric, 5).unwrap().dims,
             points,
             rotate: true,
+            rotation: None,
         }],
         oracle,
     );

@@ -75,6 +75,7 @@ fn vectors_l2_pipeline() {
             boundary: boundary_from_metric(&metric, 4).unwrap().dims,
             points,
             rotate: false,
+            rotation: None,
         }],
         oracle,
     );
@@ -144,6 +145,7 @@ fn strings_edit_pipeline() {
             boundary: boundary.dims,
             points,
             rotate: false,
+            rotation: None,
         }],
         oracle,
     );
@@ -225,6 +227,7 @@ fn documents_angular_pipeline() {
                 boundary: boundary.dims.clone(),
                 points: points.clone(),
                 rotate: false,
+                rotation: None,
             }],
             oracle,
         );
@@ -325,6 +328,7 @@ fn tagsets_jaccard_pipeline() {
             boundary: boundary.dims,
             points,
             rotate: false,
+            rotation: None,
         }],
         oracle,
     );

@@ -51,6 +51,7 @@ fn build_world(seed: u64) -> World {
                 boundary: boundary_from_metric(&metric, 4).unwrap().dims,
                 points,
                 rotate: true,
+                rotation: None,
             },
             mapper,
         )
@@ -174,6 +175,151 @@ fn rotations_separate_placements() {
     // Entries conserved per index.
     assert_eq!(system.total_entries(0), 1_500);
     assert_eq!(system.total_entries(1), 1_500);
+}
+
+/// All four index schemes (clustered vectors, edit-distance strings,
+/// TF-IDF cosine docs, time-series windows) co-hosted on one ring, with
+/// runtime publishes interleaved into every tenant's query stream. The
+/// per-index telemetry namespace must attribute traffic to the right
+/// index: every `index{i}.*` family is populated, no counter appears
+/// under a namespace that was never built, and the namespaced publish
+/// counters sum exactly to the global `publish.stored` twin.
+#[test]
+fn four_schemes_interleave_publishes_with_namespaced_telemetry() {
+    const TOML: &str = r#"
+[scenario]
+name = "inline_four_scheme_interleave"
+description = "4 schemes, interleaved publishes, namespaced counters"
+seed = 9107
+
+[ring]
+nodes = 40
+
+[[index]]
+name = "vecs"
+scheme = "clustered"
+objects = 500
+radius = 0.2
+
+[[index]]
+name = "dna"
+scheme = "strings"
+landmarks = 6
+radius = 12.0
+
+[[index]]
+name = "news"
+scheme = "docs"
+docs = 260
+landmarks = 8
+sample = 200
+radius = 0.35
+
+[[index]]
+name = "traces"
+scheme = "timeseries"
+length = 1600
+noise = 0.25
+radius = 4.0
+
+[[tenant]]
+name = "vec-app"
+index = "vecs"
+queries = 5
+publishes = 3
+pool = 5
+
+[[tenant]]
+name = "bio-app"
+index = "dna"
+queries = 5
+publishes = 2
+pool = 5
+
+[[tenant]]
+name = "news-app"
+index = "news"
+queries = 5
+publishes = 4
+pool = 5
+
+[[tenant]]
+name = "ops-app"
+index = "traces"
+queries = 5
+publishes = 1
+pool = 5
+
+[expect]
+min_recall = 1.0
+max_hops = 24
+"#;
+    let sc = scenarios::parse_scenario(TOML).expect("inline scenario parses");
+    let report = scenarios::run(&sc);
+    assert!(
+        report.violations.is_empty(),
+        "scenario invariants violated: {:?}",
+        report.violations
+    );
+    let d = &report.digest;
+
+    // Exact recall for every tenant even though objects were published
+    // into each index mid-run (the interleaving is the point: queries
+    // must see every object published before them).
+    for tenant in ["vec-app", "bio-app", "news-app", "ops-app"] {
+        assert_eq!(
+            d["tenants"][tenant]["recall_min_micros"].as_u64(),
+            Some(1_000_000),
+            "tenant {tenant} lost recall under interleaved publishes"
+        );
+    }
+
+    // Per-index counter namespaces: each co-hosted index answered its
+    // own queries, routed its own sub-queries, scanned its own store,
+    // and stored exactly its tenant's publishes.
+    let serde_json::Value::Object(counters) = &d["registry"]["counters"] else {
+        panic!("registry counters must be an object");
+    };
+    let publishes = [3u64, 2, 4, 1]; // declaration order: vecs, dna, news, traces
+    for (i, &published) in publishes.iter().enumerate() {
+        let get = |what: &str| {
+            counters
+                .get(&format!("index{i}.{what}"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        };
+        assert!(get("answers") >= 5, "index{i} answered {}", get("answers"));
+        assert!(get("routed") > 0, "index{i} routed no sub-queries");
+        assert!(get("scanned") > 0, "index{i} scanned no entries");
+        assert!(get("dist_calls") > 0, "index{i} made no distance calls");
+        assert_eq!(
+            get("published"),
+            published,
+            "index{i} publish count misattributed"
+        );
+    }
+
+    // Nothing bleeds outside the four built namespaces, and the
+    // namespaced publishes sum to the global twin exactly.
+    let mut published_sum = 0;
+    for (key, value) in counters {
+        if let Some(rest) = key.strip_prefix("index") {
+            let ix: usize = rest
+                .split('.')
+                .next()
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(usize::MAX);
+            assert!(ix < 4, "counter {key} names an index that was never built");
+            if rest.ends_with(".published") {
+                published_sum += value.as_u64().unwrap_or(0);
+            }
+        }
+    }
+    assert_eq!(
+        Some(published_sum),
+        counters.get("publish.stored").and_then(|v| v.as_u64()),
+        "namespaced publish counters must sum to the global twin"
+    );
 }
 
 #[test]

@@ -84,6 +84,7 @@ fn workload() -> Workload {
             boundary: boundary_from_metric(&metric, 5).unwrap().dims,
             points,
             rotate: true,
+            rotation: None,
         },
         oracle,
         metric,

@@ -87,6 +87,7 @@ fn run_scenario() -> (Vec<QueryOutcome>, String) {
             boundary: boundary_from_metric(&metric, 5).unwrap().dims,
             points,
             rotate: true,
+            rotation: None,
         }],
         oracle,
     );

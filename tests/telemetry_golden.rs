@@ -68,6 +68,7 @@ fn run_scenario() -> String {
             boundary: boundary_from_metric(&metric, 5).unwrap().dims,
             points,
             rotate: true,
+            rotation: None,
         }],
         oracle,
     );
